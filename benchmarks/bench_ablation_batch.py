@@ -1,0 +1,61 @@
+"""Ablation: batch queries amortize the strawman's per-block filters.
+
+The paper queries one address at a time.  A wallet or analyst usually
+holds many; on hash-committed non-BMT systems each extra address in a
+batch reuses the already-shipped filters, so N addresses cost ~1 filter
+set instead of N.  On BMT systems batches are concatenations (each
+address needs its own multiproof), which this bench also quantifies.
+"""
+
+from _common import bf_bytes, fig12_configs, write_report
+
+from repro.analysis.report import format_bytes, render_table
+from repro.query.batch import answer_batch_query, verify_batch_result
+
+
+def test_ablation_batch(benchmark, bench_workload, cache):
+    configs = fig12_configs()
+    addresses = list(bench_workload.probe_addresses.values())
+
+    rows = []
+    savings = {}
+    for label in ("strawman", "lvq_no_bmt", "lvq"):
+        config = configs[label]
+        system = cache.system(config)
+        individual = sum(
+            cache.result(config, address).size_bytes(config)
+            for address in addresses
+        )
+        batch = answer_batch_query(system, addresses)
+        batch_size = batch.size_bytes(config)
+        # Every batch must verify to the same histories.
+        histories = verify_batch_result(
+            batch, system.headers(), config, addresses
+        )
+        assert len(histories) == len(addresses)
+        savings[label] = individual / batch_size
+        rows.append(
+            [
+                label,
+                format_bytes(individual),
+                format_bytes(batch_size),
+                f"{individual / batch_size:.2f}x",
+            ]
+        )
+
+    text = render_table(
+        ["System", "6 individual queries", "one batch", "saving"], rows
+    )
+    write_report("ablation_batch", text)
+
+    # Shared filters dominate the non-BMT systems: near-6x batch saving.
+    assert savings["strawman"] > 3.0
+    assert savings["lvq_no_bmt"] > 3.0
+    # BMT batches are concatenations: no meaningful saving.
+    assert savings["lvq"] < 1.2
+
+    config = configs["strawman"]
+    system = cache.system(config)
+    benchmark.pedantic(
+        lambda: answer_batch_query(system, addresses), rounds=3, iterations=1
+    )

@@ -1,0 +1,51 @@
+"""Ablation: Fig-12 result sizes translated to link transfer times.
+
+The paper argues "lightweight" in bytes; this bench converts the same
+measurements into estimated wall-clock transfer times on two reference
+links (home broadband and 3G), which is what the coffee-shop scenario of
+§I actually experiences while the customer waits.
+"""
+
+from _common import fig12_configs, write_report
+
+from repro.analysis.report import render_table
+from repro.node.transport import LinkModel
+
+LINKS = {
+    "broadband": LinkModel.home_broadband(),
+    "3g": LinkModel.mobile_3g(),
+}
+
+
+def test_ablation_link_latency(benchmark, bench_workload, cache):
+    configs = fig12_configs()
+    probes = ("Addr1", "Addr6")
+    rows = []
+    times = {}
+    for label, config in configs.items():
+        for probe in probes:
+            address = bench_workload.probe_addresses[probe]
+            size = cache.result(config, address).size_bytes(config)
+            row = [label, probe, f"{size:,}B"]
+            for link_name, link in LINKS.items():
+                seconds = link.transfer_seconds(size)
+                times[(label, probe, link_name)] = seconds
+                row.append(f"{seconds * 1000:.0f}ms")
+            rows.append(row)
+
+    text = render_table(
+        ["System", "Address", "Bytes", *LINKS.keys()], rows
+    )
+    write_report("ablation_link_latency", text)
+
+    # The coffee-shop wait: on 3G, LVQ answers the inexistent-address
+    # query several times faster than the strawman.
+    assert (
+        times[("lvq", "Addr1", "3g")] * 3
+        < times[("strawman", "Addr1", "3g")]
+    )
+    # And every LVQ answer at this scale stays interactive on broadband.
+    assert times[("lvq", "Addr6", "broadband")] < 5.0
+
+    link = LINKS["3g"]
+    benchmark(lambda: link.transfer_seconds(1_000_000))

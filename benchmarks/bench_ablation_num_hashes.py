@@ -1,0 +1,57 @@
+"""Ablation: number of BF hash functions k (the paper leaves it at a
+btcd default; DESIGN.md fixes k = 3 and this bench justifies the choice).
+
+More hash functions sharpen each filter (fewer per-filter false
+positives) but saturate merged BMT filters faster, pushing endpoints
+down the tree.  The sweep shows result size and endpoint count per k.
+"""
+
+from _common import BENCH_BLOCKS, bf_bytes, write_report
+
+from repro.analysis.report import format_bytes, render_series
+from repro.query.config import SystemConfig
+from repro.query.prover import answer_query
+
+K_SWEEP = (1, 2, 3, 5, 8)
+
+
+def test_ablation_num_hashes(benchmark, bench_workload, cache):
+    probes = ("Addr1", "Addr4", "Addr6")
+    sizes = {name: [] for name in probes}
+    endpoints = {name: [] for name in probes}
+    for k in K_SWEEP:
+        config = SystemConfig.lvq(
+            bf_bytes=bf_bytes(30), segment_len=BENCH_BLOCKS, num_hashes=k
+        )
+        for name in probes:
+            address = bench_workload.probe_addresses[name]
+            result = cache.result(config, address)
+            sizes[name].append(result.size_bytes(config))
+            endpoints[name].append(result.num_endpoints())
+
+    text = render_series(
+        "k",
+        list(K_SWEEP),
+        [[format_bytes(v) for v in sizes[name]] for name in probes]
+        + [[str(v) for v in endpoints[name]] for name in probes],
+        [f"size:{name}" for name in probes]
+        + [f"endpoints:{name}" for name in probes],
+    )
+    write_report("ablation_num_hashes", text)
+
+    # The busy address's endpoint count is activity-bound: k barely moves it.
+    low, high = min(endpoints["Addr6"]), max(endpoints["Addr6"])
+    assert high <= 2 * low
+    # For the absent address no k in the sweep should be catastrophically
+    # worse than the best (the tradeoff is shallow around the optimum).
+    best = min(sizes["Addr1"])
+    assert max(sizes["Addr1"]) <= 12 * best
+
+    config = SystemConfig.lvq(
+        bf_bytes=bf_bytes(30), segment_len=BENCH_BLOCKS, num_hashes=3
+    )
+    system = cache.system(config)
+    address = bench_workload.probe_addresses["Addr1"]
+    benchmark.pedantic(
+        lambda: answer_query(system, address), rounds=3, iterations=1
+    )

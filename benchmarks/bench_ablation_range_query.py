@@ -1,0 +1,69 @@
+"""Ablation: the range-query extension (DESIGN.md §5, not in the paper).
+
+Measures how the verified-result size scales with the width of the
+queried height range.  The useful property: a query over a narrow window
+costs far less than the whole-chain query, and the cost grows roughly
+with the window, not with the chain — stub nodes compress everything
+outside the window to (hash, bf) pairs.
+"""
+
+from _common import BENCH_BLOCKS, bf_bytes, write_report
+
+from repro.analysis.report import format_bytes, render_series
+from repro.query.config import SystemConfig
+from repro.query.prover import answer_query
+from repro.query.verifier import verify_result
+
+
+def _widths():
+    widths = []
+    width = 16
+    while width < BENCH_BLOCKS:
+        widths.append(width)
+        width *= 4
+    widths.append(BENCH_BLOCKS)
+    return widths
+
+
+def test_ablation_range_query(benchmark, bench_workload, cache):
+    config = SystemConfig.lvq(bf_bytes=bf_bytes(30), segment_len=BENCH_BLOCKS)
+    system = cache.system(config)
+    headers = system.headers()
+    probes = ("Addr1", "Addr4", "Addr6")
+    widths = _widths()
+
+    sizes = {name: [] for name in probes}
+    for width in widths:
+        first = max(1, BENCH_BLOCKS // 2 - width // 2)
+        last = min(BENCH_BLOCKS, first + width - 1)
+        for name in probes:
+            address = bench_workload.probe_addresses[name]
+            result = answer_query(system, address, first, last)
+            # Every measured proof must also verify.
+            verify_result(result, headers, config, address, (first, last))
+            sizes[name].append(result.size_bytes(config))
+
+    text = render_series(
+        "range width",
+        widths,
+        [[format_bytes(v) for v in sizes[name]] for name in probes],
+        list(probes),
+    )
+    write_report("ablation_range_query", text)
+
+    for name in probes:
+        # Narrow windows are much cheaper than the full chain...
+        assert sizes[name][0] < sizes[name][-1]
+        # ...and growth is monotone in the window width.
+        assert sizes[name] == sorted(sizes[name])
+    # The busiest address gains the most from narrowing.
+    assert sizes["Addr6"][0] * 4 < sizes["Addr6"][-1]
+
+    address = bench_workload.probe_addresses["Addr6"]
+    benchmark.pedantic(
+        lambda: answer_query(
+            system, address, BENCH_BLOCKS // 2, BENCH_BLOCKS // 2 + 15
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,90 @@
+"""Fig 12 — query result size: strawman vs LVQ variants, six addresses.
+
+The paper's headline figure.  Expected shape (paper, 4096 blocks, real
+mainnet data):
+
+* strawman / LVQ-no-BMT: flat ≈ blocks x BF (41.12MB for Addr1), growing
+  slightly with activity;
+* LVQ-no-SMT: tiny for sparse addresses, exploding (integral blocks) for
+  busy ones;
+* LVQ: orders of magnitude below the strawman for sparse addresses
+  (0.57MB vs 41.12MB for Addr1 = 1.39%), converging toward — and for the
+  busiest two addresses slightly above — LVQ-no-BMT.
+"""
+
+import pytest
+
+from _common import fig12_configs, write_report
+
+from repro.analysis.report import format_bytes, render_table
+from repro.query.verifier import verify_result
+
+
+def test_fig12_result_sizes(benchmark, bench_workload, cache):
+    configs = fig12_configs()
+    probe_names = [p.name for p in bench_workload.probe_profiles]
+    sizes = {
+        label: {
+            name: cache.result(
+                config, bench_workload.probe_addresses[name]
+            ).size_bytes(config)
+            for name in probe_names
+        }
+        for label, config in configs.items()
+    }
+
+    rows = []
+    for name in probe_names:
+        rows.append(
+            [name]
+            + [format_bytes(sizes[label][name]) for label in configs]
+        )
+    text = render_table(["Address", *configs.keys()], rows)
+    write_report("fig12_result_sizes", text)
+
+    # Shape assertions (see module docstring).
+    assert sizes["lvq"]["Addr1"] * 10 < sizes["strawman"]["Addr1"]
+    assert sizes["lvq"]["Addr1"] == sizes["lvq_no_smt"]["Addr1"]
+    assert sizes["lvq_no_smt"]["Addr6"] > 1.5 * sizes["lvq"]["Addr6"]
+    for name in probe_names:
+        assert sizes["lvq_no_bmt"][name] < 2 * sizes["strawman"][name]
+        assert sizes["lvq"][name] < sizes["strawman"][name] * 1.5
+
+    # Benchmark the full verified LVQ query for the busiest address.
+    config = configs["lvq"]
+    system = cache.system(config)
+    headers = system.headers()
+    address = bench_workload.probe_addresses["Addr6"]
+
+    def full_round_trip():
+        from repro.query.prover import answer_query
+
+        result = answer_query(system, address)
+        return verify_result(result, headers, config, address)
+
+    history = benchmark.pedantic(full_round_trip, rounds=3, iterations=1)
+    truth = bench_workload.history_of(address)
+    assert len(history.transactions) == len(truth)
+
+
+@pytest.mark.parametrize("probe", ["Addr1", "Addr6"])
+def test_fig12_headline_ratio(benchmark, bench_workload, cache, probe):
+    """LVQ-vs-strawman size ratio per address (the 1.39% claim)."""
+    configs = fig12_configs()
+    address = bench_workload.probe_addresses[probe]
+    lvq_size = cache.result(configs["lvq"], address).size_bytes(configs["lvq"])
+    strawman_size = cache.result(configs["strawman"], address).size_bytes(
+        configs["strawman"]
+    )
+    ratio = lvq_size / strawman_size
+    write_report(
+        f"fig12_ratio_{probe.lower()}",
+        f"LVQ / strawman result size for {probe}: "
+        f"{format_bytes(lvq_size)} / {format_bytes(strawman_size)} "
+        f"= {ratio:.2%}",
+    )
+    if probe == "Addr1":
+        assert ratio < 0.10  # paper: 1.39% at full scale
+    benchmark(
+        lambda: cache.result(configs["lvq"], address).size_bytes(configs["lvq"])
+    )

@@ -1,0 +1,50 @@
+"""Fig 13 — impact of BF size (10KB → 500KB paper scale) on result size.
+
+Expected shape: the empty address fluctuates in a narrow range; busy
+addresses grow roughly linearly with the filter size (every endpoint and
+existence block drags full filters along), so small filters win — the
+paper picks 30KB.
+"""
+
+from _common import BF_SWEEP_KIB, bf_bytes, lvq_config_for_kib, write_report
+
+from repro.analysis.report import format_bytes, render_series
+
+
+def test_fig13_bf_size_sweep(benchmark, bench_workload, cache):
+    probe_names = [p.name for p in bench_workload.probe_profiles]
+    sizes = {name: [] for name in probe_names}
+    for paper_kib in BF_SWEEP_KIB:
+        config = lvq_config_for_kib(paper_kib)
+        for name in probe_names:
+            address = bench_workload.probe_addresses[name]
+            sizes[name].append(
+                cache.result(config, address).size_bytes(config)
+            )
+
+    text = render_series(
+        "BF(paper-KB)",
+        [f"{kib} ({bf_bytes(kib)}B here)" for kib in BF_SWEEP_KIB],
+        [
+            [format_bytes(value) for value in sizes[name]]
+            for name in probe_names
+        ],
+        probe_names,
+    )
+    write_report("fig13_bf_size_sweep", text)
+
+    # Busy addresses grow strongly with BF size ("roughly 40-fold" for
+    # Addr6 across the paper's sweep); the empty address barely moves.
+    assert sizes["Addr6"][-1] > 10 * sizes["Addr6"][0]
+    assert sizes["Addr1"][-1] < 60 * sizes["Addr1"][0]
+    # Monotone growth for the busiest address.
+    assert sizes["Addr6"] == sorted(sizes["Addr6"])
+
+    config = lvq_config_for_kib(30)
+    address = bench_workload.probe_addresses["Addr3"]
+    system = cache.system(config)
+    from repro.query.prover import answer_query
+
+    benchmark.pedantic(
+        lambda: answer_query(system, address), rounds=3, iterations=1
+    )

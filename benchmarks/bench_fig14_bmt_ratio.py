@@ -1,0 +1,46 @@
+"""Fig 14 — share of the query result occupied by BMT branches.
+
+Expected shape: BMT branches dominate the result for every address and
+every filter size (the paper's minimum is just over 80%, for Addr6 at
+10KB filters), because each endpoint carries a whole filter while hashes
+and SMT/MT branches are tiny by comparison.
+"""
+
+from _common import BF_SWEEP_KIB, lvq_config_for_kib, write_report
+
+from repro.analysis.report import render_series
+
+
+def test_fig14_bmt_share(benchmark, bench_workload, cache):
+    probe_names = [p.name for p in bench_workload.probe_profiles]
+    ratios = {name: [] for name in probe_names}
+    for paper_kib in BF_SWEEP_KIB:
+        config = lvq_config_for_kib(paper_kib)
+        for name in probe_names:
+            address = bench_workload.probe_addresses[name]
+            breakdown = cache.result(config, address).breakdown(config)
+            ratios[name].append(breakdown.bmt_ratio())
+
+    text = render_series(
+        "BF(paper-KB)",
+        list(BF_SWEEP_KIB),
+        [
+            [f"{ratio:.1%}" for ratio in ratios[name]]
+            for name in probe_names
+        ],
+        probe_names,
+    )
+    write_report("fig14_bmt_share", text)
+
+    # The paper's claim: BMT branches take a very large proportion.
+    for name in probe_names:
+        for ratio in ratios[name]:
+            assert ratio > 0.5, f"{name}: BMT share {ratio:.1%} unexpectedly low"
+    # And the overall minimum sits with the busiest address at the
+    # smallest filter, as in the paper.
+    minimum = min(min(values) for values in ratios.values())
+    assert minimum == min(ratios["Addr6"][0], minimum)
+
+    config = lvq_config_for_kib(30)
+    address = bench_workload.probe_addresses["Addr6"]
+    benchmark(lambda: cache.result(config, address).breakdown(config))

@@ -1,0 +1,59 @@
+"""Fig 15 — number of BMT endpoint nodes vs BF size.
+
+Expected shape: per address, the endpoint count stays roughly stable as
+the filter grows (it depends on where in the tree checks start to
+succeed, which moves only logarithmically in the filter size), which is
+why Fig 13's growth is attributable to filter bytes, not endpoint counts.
+"""
+
+from _common import BF_SWEEP_KIB, NUM_HASHES, lvq_config_for_kib, write_report
+
+from repro.analysis.fpm import expected_endpoints
+from repro.analysis.report import render_series
+from _common import ADDRESSES_PER_BLOCK, BENCH_BLOCKS, bf_bytes
+
+
+def test_fig15_endpoint_counts(benchmark, bench_workload, cache):
+    probe_names = [p.name for p in bench_workload.probe_profiles]
+    counts = {name: [] for name in probe_names}
+    for paper_kib in BF_SWEEP_KIB:
+        config = lvq_config_for_kib(paper_kib)
+        for name in probe_names:
+            address = bench_workload.probe_addresses[name]
+            counts[name].append(cache.result(config, address).num_endpoints())
+
+    model = [
+        f"{expected_endpoints(BENCH_BLOCKS, ADDRESSES_PER_BLOCK, bf_bytes(kib) * 8, NUM_HASHES):.1f}"
+        for kib in BF_SWEEP_KIB
+    ]
+    text = render_series(
+        "BF(paper-KB)",
+        list(BF_SWEEP_KIB),
+        [[str(v) for v in counts[name]] for name in probe_names]
+        + [model],
+        probe_names + ["model(absent)"],
+    )
+    write_report("fig15_endpoint_counts", text)
+
+    # Stability where the count is pinned by on-chain activity: the busy
+    # addresses' endpoint counts barely move across a 50x filter sweep
+    # (the paper plots nearly flat lines per address).
+    for name in ("Addr4", "Addr5", "Addr6"):
+        low, high = min(counts[name]), max(counts[name])
+        assert high <= 2 * low, f"{name}: {counts[name]}"
+    # Sparse addresses can only improve as filters grow (checks succeed
+    # higher in the tree); the count must never increase with BF size.
+    for name in ("Addr1", "Addr2"):
+        for previous, current in zip(counts[name], counts[name][1:]):
+            assert current <= previous + 8, f"{name}: {counts[name]}"
+    # Busier addresses need more endpoints at every filter size.
+    for column in range(len(BF_SWEEP_KIB)):
+        assert counts["Addr6"][column] > counts["Addr1"][column]
+
+    config = lvq_config_for_kib(30)
+    system = cache.system(config)
+    address = bench_workload.probe_addresses["Addr1"]
+    from repro.chain.address import address_item
+
+    tree = system.bmt_tree(BENCH_BLOCKS)
+    benchmark(lambda: tree.find_endpoints(address_item(address)))

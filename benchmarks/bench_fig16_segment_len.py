@@ -1,0 +1,66 @@
+"""Fig 16 — number of endpoint nodes vs segment length M.
+
+Expected shape: U-shaped.  M=1 costs one endpoint per block (the BMT
+degenerates to per-block filters); very large M costs extra descent
+levels around every active block for busy addresses.  The paper finds
+1024/2048 (of 4096) preferable — i.e. M between a quarter and half of
+the chain — and sparse addresses keep improving with M.
+"""
+
+from _common import BENCH_BLOCKS, NUM_HASHES, bf_bytes, write_report
+
+from repro.analysis.report import render_series
+from repro.query.config import SystemConfig
+
+
+def _segment_sweep():
+    lengths = []
+    length = 1
+    while length <= BENCH_BLOCKS:
+        lengths.append(length)
+        length *= 4
+    if lengths[-1] != BENCH_BLOCKS:
+        lengths.append(BENCH_BLOCKS)
+    return lengths
+
+
+def test_fig16_endpoints_vs_segment_len(benchmark, bench_workload, cache):
+    probe_names = [p.name for p in bench_workload.probe_profiles]
+    sweep = _segment_sweep()
+    counts = {name: [] for name in probe_names}
+    for segment_len in sweep:
+        config = SystemConfig.lvq(
+            bf_bytes=bf_bytes(30),
+            segment_len=segment_len,
+            num_hashes=NUM_HASHES,
+        )
+        for name in probe_names:
+            address = bench_workload.probe_addresses[name]
+            counts[name].append(cache.result(config, address).num_endpoints())
+
+    text = render_series(
+        "M",
+        sweep,
+        [[str(v) for v in counts[name]] for name in probe_names],
+        probe_names,
+    )
+    write_report("fig16_endpoints_vs_segment_len", text)
+
+    # M = 1: every block is its own endpoint, for every address.
+    for name in probe_names:
+        assert counts[name][0] == BENCH_BLOCKS
+
+    # Sparse addresses improve monotonically toward large M...
+    assert counts["Addr1"][-1] < counts["Addr1"][0] / 10
+    # ...while for the busiest address the best M is intermediate-or-full,
+    # and small M is never optimal (the paper's 'too small or too large
+    # segment leads to many endpoints', with the minimum at 1024/2048).
+    best_addr6 = min(counts["Addr6"])
+    assert best_addr6 < counts["Addr6"][0]
+    assert counts["Addr6"].index(best_addr6) >= 1
+
+    config = SystemConfig.lvq(
+        bf_bytes=bf_bytes(30), segment_len=BENCH_BLOCKS, num_hashes=NUM_HASHES
+    )
+    address = bench_workload.probe_addresses["Addr6"]
+    benchmark(lambda: cache.result(config, address).num_endpoints())

@@ -1,0 +1,71 @@
+"""Ablation: proof generation and verification latency per system.
+
+The paper evaluates only communication cost; this bench records the
+compute cost of the same queries so downstream users can judge
+full-node (prove) and light-node (verify) CPU budgets.
+"""
+
+import pytest
+
+from _common import fig12_configs, write_report
+
+from repro.analysis.report import render_table
+from repro.query.prover import answer_query
+from repro.query.verifier import verify_result
+
+_PROBES = ("Addr1", "Addr6")
+
+
+@pytest.mark.parametrize("label", list(fig12_configs()))
+@pytest.mark.parametrize("probe", _PROBES)
+def test_prove_latency(benchmark, bench_workload, cache, label, probe):
+    config = fig12_configs()[label]
+    system = cache.system(config)
+    address = bench_workload.probe_addresses[probe]
+    result = benchmark.pedantic(
+        lambda: answer_query(system, address), rounds=3, iterations=1
+    )
+    assert result.size_bytes(config) > 0
+
+
+@pytest.mark.parametrize("label", list(fig12_configs()))
+@pytest.mark.parametrize("probe", _PROBES)
+def test_verify_latency(benchmark, bench_workload, cache, label, probe):
+    config = fig12_configs()[label]
+    system = cache.system(config)
+    headers = system.headers()
+    address = bench_workload.probe_addresses[probe]
+    result = cache.result(config, address)
+    history = benchmark.pedantic(
+        lambda: verify_result(result, headers, config, address),
+        rounds=3,
+        iterations=1,
+    )
+    truth = bench_workload.history_of(address)
+    assert len(history.transactions) == len(truth)
+
+
+def test_build_index_latency(benchmark, bench_workload):
+    """Indexing cost per block on the full node (one-off, amortizable)."""
+    from repro.query.builder import build_system
+
+    config = fig12_configs()["lvq"]
+    bodies = bench_workload.bodies[:129]  # 128 blocks + genesis
+
+    system = benchmark.pedantic(
+        lambda: build_system(bodies, _small_config(config)), rounds=3, iterations=1
+    )
+    assert system.tip_height == 128
+    write_report(
+        "latency_notes",
+        "prove/verify latencies recorded by pytest-benchmark (see its "
+        "table); index build benchmarked over 128 blocks.",
+    )
+
+
+def _small_config(config):
+    from repro.query.config import SystemConfig
+
+    return SystemConfig.lvq(
+        bf_bytes=config.bf_bytes, segment_len=128, num_hashes=config.num_hashes
+    )

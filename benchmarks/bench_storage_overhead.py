@@ -1,0 +1,54 @@
+"""Ablation: Challenge-1 light-node storage per system (§IV-A1).
+
+Not a numbered figure in the paper, but the quantitative backbone of its
+motivation: a strawman header carries the whole filter (KBs per block at
+paper scale, ~100x the 80-byte Bitcoin header), while LVQ adds a constant
+64 bytes of commitments regardless of filter size.
+"""
+
+from _common import bf_bytes, fig12_configs, write_report
+
+from repro.analysis.report import format_bytes, render_table
+from repro.analysis.sizing import storage_table
+from repro.query.config import SystemConfig
+
+
+def test_storage_overhead(benchmark, bench_workload, cache):
+    labelled = []
+    configs = dict(fig12_configs())
+    configs["strawman_header_bf"] = SystemConfig.strawman_header_bf(
+        bf_bytes=bf_bytes(10)
+    )
+    for label, config in configs.items():
+        labelled.append((label, cache.system(config).headers()))
+
+    rows = storage_table(labelled)
+    text = render_table(
+        ["System", "Blocks", "Total", "Overhead/block", "vs Bitcoin"],
+        [
+            [
+                row["system"],
+                row["blocks"],
+                format_bytes(row["total_bytes"]),
+                f"{row['per_block_overhead']}B",
+                f"{row['vs_bitcoin']:.2f}x",
+            ]
+            for row in rows
+        ],
+    )
+    write_report("storage_overhead", text)
+
+    by_name = {row["system"]: row for row in rows}
+    # LVQ headers: constant 64B of commitments.
+    assert by_name["lvq"]["per_block_overhead"] == 64
+    assert by_name["lvq_no_smt"]["per_block_overhead"] == 32
+    # The original strawman stores the whole filter per header.
+    assert by_name["strawman_header_bf"]["per_block_overhead"] == bf_bytes(10)
+    # Header-BF strawman costs several times more storage than LVQ.
+    assert (
+        by_name["strawman_header_bf"]["total_bytes"]
+        > 3 * by_name["lvq"]["total_bytes"]
+    )
+
+    headers = cache.system(configs["lvq"]).headers()
+    benchmark(lambda: sum(h.size_bytes() for h in headers))

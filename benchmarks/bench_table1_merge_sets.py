@@ -1,0 +1,39 @@
+"""Table I — blocks merged by each height (Algorithm 1).
+
+Regenerates the paper's Table I rows verbatim and benchmarks the merge
+computation over a full segment.
+"""
+
+from _common import write_report
+
+from repro.analysis.report import render_table
+from repro.chain.segments import merge_set
+
+
+def test_table1_merge_sets(benchmark):
+    rows = []
+    for height in range(1, 9):
+        blocks = merge_set(height, 4096)
+        rows.append(
+            [
+                height,
+                len(blocks),
+                ", ".join(str(b) for b in blocks),
+            ]
+        )
+    text = render_table(["Height", "#Blocks", "Blocks to be merged"], rows)
+    write_report("table1_merge_sets", text)
+
+    # Paper's Table I, exactly.
+    assert [row[2] for row in rows] == [
+        "1",
+        "1, 2",
+        "3",
+        "1, 2, 3, 4",
+        "5",
+        "5, 6",
+        "7",
+        "1, 2, 3, 4, 5, 6, 7, 8",
+    ]
+
+    benchmark(lambda: [merge_set(h, 4096) for h in range(1, 4097)])

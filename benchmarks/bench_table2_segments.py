@@ -1,0 +1,38 @@
+"""Table II — binary division of the last partial segment (§V-B).
+
+Regenerates the paper's three example rows (M = 256, tips 464/465/466)
+and benchmarks the covering-span computation at chain scale.
+"""
+
+from _common import BENCH_BLOCKS, write_report
+
+from repro.analysis.report import render_table
+from repro.chain.segments import covering_spans, segment_spans
+
+
+def _power_series(length: int) -> str:
+    terms = [f"2^{i}" for i in reversed(range(length.bit_length())) if length >> i & 1]
+    return " + ".join(terms)
+
+
+def test_table2_segment_division(benchmark):
+    rows = []
+    for tip in (464, 465, 466):
+        tail = segment_spans(tip, 256)[1:]  # sub-segments after [1,256]
+        rows.append(
+            [
+                tip,
+                _power_series(tip - 256),
+                ", ".join(f"[{start},{end}]" for start, end in tail),
+            ]
+        )
+    text = render_table(["h_t", "Power series", "Sub-segments"], rows)
+    write_report("table2_segment_division", text)
+
+    assert rows[0][2] == "[257,384], [385,448], [449,464]"
+    assert rows[1][2] == "[257,384], [385,448], [449,464], [465,465]"
+    assert rows[2][2] == "[257,384], [385,448], [449,464], [465,466]"
+
+    benchmark(
+        lambda: [covering_spans(tip, 256) for tip in range(1, BENCH_BLOCKS + 1)]
+    )

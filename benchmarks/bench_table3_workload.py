@@ -1,0 +1,35 @@
+"""Table III — the six probe addresses and their footprints.
+
+The paper queries six mainnet addresses; the synthetic workload injects
+six probes with the same (scaled) footprints.  This bench verifies the
+injected footprints exactly and benchmarks workload generation.
+"""
+
+from _common import BENCH_BLOCKS, write_report
+
+from repro.analysis.report import render_table
+from repro.workload.generator import WorkloadParams, generate_workload
+from repro.workload.profiles import scaled_probe_profiles
+
+
+def test_table3_probe_footprints(benchmark, bench_workload):
+    profiles = scaled_probe_profiles(BENCH_BLOCKS)
+    rows = []
+    for index, profile in enumerate(profiles, start=1):
+        address = bench_workload.probe_addresses[profile.name]
+        tx_count, block_count = bench_workload.footprint_of(address)
+        rows.append([index, address, tx_count, block_count])
+        assert (tx_count, block_count) == (
+            profile.tx_count,
+            profile.block_count,
+        ), f"{profile.name} footprint drifted"
+    text = render_table(["Index", "Address", "#Tx", "#Block"], rows)
+    write_report("table3_probe_footprints", text)
+
+    benchmark.pedantic(
+        lambda: generate_workload(
+            WorkloadParams(num_blocks=64, txs_per_block=20, seed=1)
+        ),
+        rounds=3,
+        iterations=1,
+    )

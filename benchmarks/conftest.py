@@ -1,0 +1,70 @@
+"""Session fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(DESIGN.md §4 maps them).  Conventions:
+
+* the synthetic chain defaults to 1024 blocks at a documented ~1/21 linear
+  scale of the paper's workload (~96 unique addresses per block instead of
+  ~2048); set ``LVQ_BENCH_BLOCKS=4096`` for a full-scale run;
+* Bloom filter sizes are specified in *paper KiB* and converted with
+  :func:`repro.analysis.sizing.paper_equivalent_bf_bytes`, preserving
+  bits-per-element so fill ratios and endpoint counts match the paper;
+* every module prints its rows (run with ``-s`` to see them) and writes
+  them to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md;
+* built systems and query results are cached per session, since several
+  figures share the same sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BENCH_BLOCKS, BENCH_TXS
+from repro.query.builder import build_system
+from repro.query.config import SystemConfig
+from repro.query.prover import answer_query
+from repro.workload.generator import WorkloadParams, generate_workload
+
+
+@pytest.fixture(scope="session")
+def bench_workload():
+    return generate_workload(
+        WorkloadParams(
+            num_blocks=BENCH_BLOCKS, txs_per_block=BENCH_TXS, seed=2020
+        )
+    )
+
+
+class _SystemCache:
+    """Build-once cache for (config → BuiltSystem) and query results."""
+
+    def __init__(self, workload) -> None:
+        self.workload = workload
+        self._systems = {}
+        self._results = {}
+
+    @staticmethod
+    def _key(config: SystemConfig):
+        return (
+            config.kind,
+            config.bf_bytes,
+            config.num_hashes,
+            config.segment_len,
+        )
+
+    def system(self, config: SystemConfig):
+        key = self._key(config)
+        if key not in self._systems:
+            self._systems[key] = build_system(self.workload.bodies, config)
+        return self._systems[key]
+
+    def result(self, config: SystemConfig, address: str):
+        key = self._key(config) + (address,)
+        if key not in self._results:
+            self._results[key] = answer_query(self.system(config), address)
+        return self._results[key]
+
+
+@pytest.fixture(scope="session")
+def cache(bench_workload):
+    return _SystemCache(bench_workload)

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Behaviour analysis over *verified* histories (§II-B's second use case).
+
+The paper motivates verifiable history queries with address analysis:
+"by analyzing the transaction history, we can possibly conclude some
+behavior patterns of an address and further deduce its real-world
+identity, such as exchange or mining pool".
+
+This example queries every Table-III-style probe through the verified
+path, derives simple behavioural features from the proven histories —
+activity span, transactions per active block, flow direction, turnover —
+and classifies each address.  Because every input history is verified
+complete, the classification cannot be skewed by a full node hiding or
+injecting transactions.
+
+Run:  python examples/address_forensics.py
+"""
+
+from repro import (
+    FullNode,
+    LightNode,
+    SystemConfig,
+    WorkloadParams,
+    build_system,
+    generate_workload,
+)
+from repro.analysis.report import render_table
+
+NUM_BLOCKS = 256
+
+
+def classify(features: dict) -> str:
+    """A deliberately simple rule set over verified features."""
+    if features["tx_count"] == 0:
+        return "unused"
+    if features["tx_count"] == 1:
+        return "one-shot"
+    if features["tx_per_block"] >= 2.0 and features["turnover"] > 0.5:
+        return "exchange-like (busy, high turnover)"
+    if features["received"] > 0 and features["sent"] == 0:
+        return "accumulator (cold storage?)"
+    if features["tx_count"] >= 20:
+        return "service (sustained activity)"
+    return "personal wallet"
+
+
+def main() -> None:
+    workload = generate_workload(
+        WorkloadParams(num_blocks=NUM_BLOCKS, txs_per_block=16, seed=99)
+    )
+    config = SystemConfig.lvq(bf_bytes=448, segment_len=128)
+    system = build_system(workload.bodies, config)
+    full_node = FullNode(system)
+    analyst = LightNode.from_full_node(full_node)
+
+    rows = []
+    for name, address in workload.probe_addresses.items():
+        history = analyst.query_history(full_node, address)
+        heights = history.heights()
+        received = sum(tx.received_by(address) for _h, tx in history.transactions)
+        sent = sum(tx.sent_by(address) for _h, tx in history.transactions)
+        features = {
+            "tx_count": len(history.transactions),
+            "blocks": len(heights),
+            "span": (heights[-1] - heights[0] + 1) if heights else 0,
+            "tx_per_block": (
+                len(history.transactions) / len(heights) if heights else 0.0
+            ),
+            "received": received,
+            "sent": sent,
+            "turnover": sent / received if received else 0.0,
+        }
+        rows.append(
+            [
+                name,
+                features["tx_count"],
+                features["blocks"],
+                features["span"],
+                f"{features['tx_per_block']:.2f}",
+                f"{features['turnover']:.2f}",
+                history.balance(),
+                classify(features),
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "Probe",
+                "#Tx",
+                "#Blocks",
+                "Span",
+                "Tx/Block",
+                "Turnover",
+                "Balance",
+                "Classification",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nEvery feature above is derived from a history whose completeness "
+        "was cryptographically verified — a malicious full node cannot bias "
+        "the classification by omitting or inventing transactions."
+    )
+
+
+if __name__ == "__main__":
+    main()

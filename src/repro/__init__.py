@@ -1,0 +1,122 @@
+"""LVQ: lightweight verifiable queries for Bitcoin transaction history.
+
+Reproduction of Dai et al., *"LVQ: A Lightweight Verifiable Query Approach
+for Transaction History in Bitcoin"* (ICDCS 2020).
+
+Quick tour::
+
+    from repro import (
+        WorkloadParams, generate_workload,
+        SystemConfig, build_system, FullNode, LightNode,
+    )
+
+    workload = generate_workload(WorkloadParams(num_blocks=64))
+    system = build_system(
+        workload.bodies, SystemConfig.lvq(bf_bytes=256, segment_len=64)
+    )
+    full_node = FullNode(system)
+    light_node = LightNode.from_full_node(full_node)
+
+    address = workload.probe_addresses["Addr3"]
+    history = light_node.query_history(full_node, address)
+    print(len(history.transactions), history.balance())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.bloom import BloomFilter, bloom_positions
+from repro.chain import (
+    Blockchain,
+    Transaction,
+    TxInput,
+    TxOutput,
+    balance_from_history,
+    merge_set,
+    merge_span,
+    segment_spans,
+    covering_spans,
+    synthetic_address,
+)
+from repro.merkle import (
+    BmtMultiProof,
+    BmtTree,
+    MerkleBranch,
+    MerkleTree,
+    SmtInexistenceProof,
+    SortedMerkleTree,
+)
+from repro.node import FullNode, InProcessTransport, LightNode
+from repro.query import (
+    BuiltSystem,
+    QueryResult,
+    SystemConfig,
+    SystemKind,
+    answer_query,
+    build_system,
+    verify_result,
+    VerifiedHistory,
+)
+from repro.workload import (
+    PAPER_PROBE_PROFILES,
+    GeneratedWorkload,
+    ProbeProfile,
+    WorkloadParams,
+    generate_workload,
+    scaled_probe_profiles,
+)
+from repro.errors import (
+    CompletenessError,
+    CorrectnessError,
+    NoHonestPeerError,
+    ReproError,
+    VerificationError,
+)
+from repro.wallet import Wallet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BloomFilter",
+    "bloom_positions",
+    "Blockchain",
+    "Transaction",
+    "TxInput",
+    "TxOutput",
+    "balance_from_history",
+    "merge_set",
+    "merge_span",
+    "segment_spans",
+    "covering_spans",
+    "synthetic_address",
+    "BmtMultiProof",
+    "BmtTree",
+    "MerkleBranch",
+    "MerkleTree",
+    "SmtInexistenceProof",
+    "SortedMerkleTree",
+    "FullNode",
+    "InProcessTransport",
+    "LightNode",
+    "BuiltSystem",
+    "QueryResult",
+    "SystemConfig",
+    "SystemKind",
+    "answer_query",
+    "build_system",
+    "verify_result",
+    "VerifiedHistory",
+    "PAPER_PROBE_PROFILES",
+    "GeneratedWorkload",
+    "ProbeProfile",
+    "WorkloadParams",
+    "generate_workload",
+    "scaled_probe_profiles",
+    "CompletenessError",
+    "CorrectnessError",
+    "NoHonestPeerError",
+    "ReproError",
+    "VerificationError",
+    "Wallet",
+    "__version__",
+]

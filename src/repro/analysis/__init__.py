@@ -1,0 +1,26 @@
+"""Analytic models and reporting helpers for the evaluation."""
+
+from repro.analysis.fpm import (
+    expected_endpoints,
+    expected_failed_leaves,
+    layer_fill_ratio,
+)
+from repro.analysis.sizing import (
+    header_overhead_per_block,
+    paper_equivalent_bf_bytes,
+    predicted_absent_result_bytes,
+    storage_table,
+)
+from repro.analysis.report import format_bytes, render_table
+
+__all__ = [
+    "expected_endpoints",
+    "expected_failed_leaves",
+    "layer_fill_ratio",
+    "header_overhead_per_block",
+    "paper_equivalent_bf_bytes",
+    "predicted_absent_result_bytes",
+    "storage_table",
+    "format_bytes",
+    "render_table",
+]

@@ -1,0 +1,98 @@
+"""Analytic model of the BMT endpoint distribution (backs Figs 13, 15, 16).
+
+A BMT node at layer ``j`` unions the filters of ``2^j`` blocks, so for an
+address absent from all of them the probability that its check *fails*
+(all ``k`` positions set) is ``fill(j)^k`` with
+``fill(j) = 1 − (1 − 1/m)^(k · n · 2^j)`` under the usual independence
+approximation (paper refs [16]-[17]); ``n`` is the unique-address count
+per block.  An endpoint appears at a node exactly when the node's check
+succeeds but its parent's failed, plus at leaves whose own check fails.
+
+The model explains the two experimental observations the paper leans on:
+
+* endpoint count is driven by ``m/n`` (bits per element), which is why it
+  stays nearly flat across the Fig-15 BF sweep once ``m`` is large enough;
+* endpoint count is U-shaped in the segment length ``M`` (Fig 16): tiny
+  segments make every leaf its own endpoint, huge segments are fine for
+  inexistence but the fixed per-segment overhead disappears — the rise at
+  the large-``M`` end comes from busy addresses whose failed leaves force
+  full descents.
+"""
+
+from __future__ import annotations
+
+from repro.bloom.params import fill_ratio_estimate
+
+
+def layer_fill_ratio(
+    layer: int, items_per_block: int, size_bits: int, num_hashes: int
+) -> float:
+    """Expected fill of a BMT node ``layer`` levels above the leaves."""
+    if layer < 0:
+        raise ValueError(f"negative layer {layer}")
+    return fill_ratio_estimate(
+        items_per_block * (1 << layer), size_bits, num_hashes
+    )
+
+
+def _fail_probability(
+    layer: int, items_per_block: int, size_bits: int, num_hashes: int
+) -> float:
+    """P(check fails at a layer-``layer`` node) for an absent address."""
+    return (
+        layer_fill_ratio(layer, items_per_block, size_bits, num_hashes)
+        ** num_hashes
+    )
+
+
+def expected_endpoints(
+    num_blocks: int, items_per_block: int, size_bits: int, num_hashes: int
+) -> float:
+    """Expected endpoint count for one absent address over one BMT.
+
+    Approximates node checks as independent: a layer-``j`` node is an
+    endpoint if its own check succeeds while its parent's fails (the root
+    "parent" always counts as failed for descent purposes — descent
+    starts there), and a leaf is additionally an endpoint when its own
+    check fails.
+    """
+    if num_blocks <= 0 or num_blocks & (num_blocks - 1):
+        raise ValueError(f"block count must be a power of two: {num_blocks}")
+    depth = num_blocks.bit_length() - 1
+    expected = 0.0
+    for layer in range(depth + 1):
+        nodes_at_layer = num_blocks >> layer
+        succeed_here = 1.0 - _fail_probability(
+            layer, items_per_block, size_bits, num_hashes
+        )
+        if layer == depth:
+            parent_fails = 1.0  # the root has no parent; descent starts here
+        else:
+            parent_fails = _fail_probability(
+                layer + 1, items_per_block, size_bits, num_hashes
+            )
+        expected += nodes_at_layer * parent_fails * succeed_here
+        if layer == 0:
+            # Failed leaves are endpoints too (resolved at block level).
+            leaf_fails = _fail_probability(
+                0, items_per_block, size_bits, num_hashes
+            )
+            parent_fails_leaf = (
+                _fail_probability(1, items_per_block, size_bits, num_hashes)
+                if depth >= 1
+                else 1.0
+            )
+            expected += num_blocks * parent_fails_leaf * leaf_fails
+    return expected
+
+
+def expected_failed_leaves(
+    num_blocks: int, items_per_block: int, size_bits: int, num_hashes: int
+) -> float:
+    """Expected failed-leaf endpoints (FPM resolutions) for an absent
+    address — the paper's Challenge-2 quantity, per segment."""
+    if num_blocks <= 0:
+        raise ValueError(f"block count must be positive: {num_blocks}")
+    return num_blocks * _fail_probability(
+        0, items_per_block, size_bits, num_hashes
+    )

@@ -1,0 +1,64 @@
+"""Plain-text table/series rendering used by the benchmark harness.
+
+Every benchmark prints the rows/series of its paper table or figure
+through these helpers, so bench output is uniform and directly
+comparable with the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_bytes(size: float) -> str:
+    """Human-readable byte count with paper-style units."""
+    if size < 0:
+        raise ValueError(f"negative size {size}")
+    if size < 1024:
+        return f"{size:.0f}B"
+    if size < 1024**2:
+        return f"{size / 1024:.2f}KB"
+    if size < 1024**3:
+        return f"{size / 1024 ** 2:.2f}MB"
+    return f"{size / 1024 ** 3:.2f}GB"
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width table with a separator under the header row."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width "
+                f"{len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Sequence[Sequence[object]],
+    series_labels: Sequence[str],
+) -> str:
+    """One row per x value, one column per series — a figure as text."""
+    if len(series) != len(series_labels):
+        raise ValueError("series and labels must pair up")
+    headers = [x_label, *series_labels]
+    rows = []
+    for index, x_value in enumerate(x_values):
+        rows.append([x_value, *(column[index] for column in series)])
+    return render_table(headers, rows)

@@ -1,0 +1,20 @@
+"""Bloom filters and the bit vectors backing them (paper §III-B1)."""
+
+from repro.bloom.bitarray import BitArray
+from repro.bloom.filter import BloomFilter, bloom_positions
+from repro.bloom.params import (
+    fill_ratio_estimate,
+    false_positive_rate,
+    optimal_num_hashes,
+    expected_fpm_count,
+)
+
+__all__ = [
+    "BitArray",
+    "BloomFilter",
+    "bloom_positions",
+    "fill_ratio_estimate",
+    "false_positive_rate",
+    "optimal_num_hashes",
+    "expected_fpm_count",
+]

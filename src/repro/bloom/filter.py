@@ -1,0 +1,156 @@
+"""Bloom filter with deterministic double hashing (paper §III-B1).
+
+Position derivation uses the Kirsch–Mitzenmacher construction: two 64-bit
+values ``h1, h2`` come from a single SHA-256 of the item, and position ``i``
+is ``(h1 + i * h2) mod m``.  One hash call per membership operation keeps
+chain indexing fast while preserving the independent-hash false-positive
+behaviour the paper's analysis (refs [16]-[18]) assumes.
+
+Both the light node and the full node must derive identical positions, so
+the scheme is part of the protocol and has no per-filter salt.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.bloom.bitarray import BitArray
+from repro.crypto.hashing import sha256
+from repro.errors import EncodingError
+
+#: Protocol-wide domain tag mixed into every position derivation.
+_POSITION_TAG = b"lvq/bloom/v1"
+
+
+def bloom_positions(item: bytes, num_hashes: int, size_bits: int) -> List[int]:
+    """The ``num_hashes`` bit positions of ``item`` in an ``size_bits`` filter.
+
+    These are the paper's "checked bit positions" (CBP, §IV-A): the light
+    node recomputes them locally to audit any BF the full node ships.
+    """
+    if num_hashes <= 0:
+        raise ValueError(f"need at least one hash function, got {num_hashes}")
+    if size_bits <= 0:
+        raise ValueError(f"filter size must be positive, got {size_bits}")
+    digest = sha256(_POSITION_TAG + item)
+    h1 = int.from_bytes(digest[:8], "little")
+    h2 = int.from_bytes(digest[8:16], "little") | 1  # odd => full orbit
+    return [(h1 + i * h2) % size_bits for i in range(num_hashes)]
+
+
+class BloomFilter:
+    """A fixed-geometry Bloom filter over byte-string items.
+
+    Geometry (``size_bits``, ``num_hashes``) is part of a chain's consensus
+    parameters: every per-block filter and every BMT node must agree on it,
+    otherwise unions (Eq 3) and position checks would be meaningless.
+    """
+
+    __slots__ = ("bits", "num_hashes", "num_items")
+
+    def __init__(self, size_bits: int, num_hashes: int) -> None:
+        self.bits = BitArray(size_bits)
+        if num_hashes <= 0:
+            raise ValueError(f"need at least one hash function, got {num_hashes}")
+        self.num_hashes = num_hashes
+        #: Count of ``add`` calls (duplicates included); diagnostic only,
+        #: not serialized and not part of any commitment.
+        self.num_items = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_items(
+        cls, items: Iterable[bytes], size_bits: int, num_hashes: int
+    ) -> "BloomFilter":
+        bloom = cls(size_bits, num_hashes)
+        for item in items:
+            bloom.add(item)
+        return bloom
+
+    @classmethod
+    def from_bits(cls, bits: BitArray, num_hashes: int) -> "BloomFilter":
+        bloom = cls(bits.size_bits, num_hashes)
+        bloom.bits = bits.copy()
+        return bloom
+
+    @classmethod
+    def from_bytes(cls, payload: bytes, num_hashes: int) -> "BloomFilter":
+        if not payload:
+            raise EncodingError("empty Bloom filter payload")
+        bloom = cls(len(payload) * 8, num_hashes)
+        bloom.bits = BitArray.from_bytes(payload)
+        return bloom
+
+    # -- core operations ---------------------------------------------------
+
+    @property
+    def size_bits(self) -> int:
+        return self.bits.size_bits
+
+    @property
+    def size_bytes(self) -> int:
+        return self.bits.size_bytes
+
+    def positions(self, item: bytes) -> List[int]:
+        return bloom_positions(item, self.num_hashes, self.size_bits)
+
+    def add(self, item: bytes) -> None:
+        for position in self.positions(item):
+            self.bits.set(position)
+        self.num_items += 1
+
+    def might_contain(self, item: bytes) -> bool:
+        """False ⇒ definitely absent; True ⇒ present or a false positive."""
+        return self.bits.covers_positions(self.positions(item))
+
+    def __contains__(self, item: bytes) -> bool:
+        return self.might_contain(item)
+
+    def check_fails(self, item: bytes) -> bool:
+        """The paper's "failed check": every checked bit position is 1."""
+        return self.might_contain(item)
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Bitwise-OR merge (Eq 3); geometries must match."""
+        self._check_compatible(other)
+        merged = BloomFilter(self.size_bits, self.num_hashes)
+        merged.bits = self.bits | other.bits
+        merged.num_items = self.num_items + other.num_items
+        return merged
+
+    def __or__(self, other: "BloomFilter") -> "BloomFilter":
+        return self.union(other)
+
+    def fill_ratio(self) -> float:
+        return self.bits.fill_ratio()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BloomFilter):
+            return NotImplemented
+        return self.num_hashes == other.num_hashes and self.bits == other.bits
+
+    def __hash__(self) -> int:
+        return hash((self.num_hashes, self.bits))
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(bits={self.size_bits}, k={self.num_hashes}, "
+            f"fill={self.fill_ratio():.3f})"
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Raw bit-vector bytes; geometry travels in the chain parameters."""
+        return self.bits.to_bytes()
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_compatible(self, other: "BloomFilter") -> None:
+        if self.size_bits != other.size_bits or self.num_hashes != other.num_hashes:
+            raise ValueError(
+                "incompatible Bloom filters: "
+                f"({self.size_bits}, k={self.num_hashes}) vs "
+                f"({other.size_bits}, k={other.num_hashes})"
+            )

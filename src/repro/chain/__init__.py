@@ -1,0 +1,54 @@
+"""Bitcoin-like substrate: addresses, transactions, blocks, segments, UTXO."""
+
+from repro.chain.address import (
+    ADDRESS_VERSION,
+    address_item,
+    is_valid_address,
+    synthetic_address,
+)
+from repro.chain.transaction import TxInput, TxOutput, Transaction
+from repro.chain.block import (
+    BASE_HEADER_SIZE,
+    Block,
+    BlockHeader,
+    HeaderExtension,
+    NoExtension,
+    BloomExtension,
+    BloomHashExtension,
+    LvqExtension,
+)
+from repro.chain.segments import (
+    merge_span,
+    merge_set,
+    segment_spans,
+    covering_spans,
+    is_anchor_for,
+)
+from repro.chain.blockchain import Blockchain
+from repro.chain.utxo import UtxoSet, balance_from_history
+
+__all__ = [
+    "ADDRESS_VERSION",
+    "address_item",
+    "is_valid_address",
+    "synthetic_address",
+    "TxInput",
+    "TxOutput",
+    "Transaction",
+    "BASE_HEADER_SIZE",
+    "Block",
+    "BlockHeader",
+    "HeaderExtension",
+    "NoExtension",
+    "BloomExtension",
+    "BloomHashExtension",
+    "LvqExtension",
+    "merge_span",
+    "merge_set",
+    "segment_spans",
+    "covering_spans",
+    "is_anchor_for",
+    "Blockchain",
+    "UtxoSet",
+    "balance_from_history",
+]

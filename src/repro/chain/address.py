@@ -1,0 +1,52 @@
+"""Bitcoin-style addresses for the synthetic chain.
+
+Real P2PKH addresses are ``Base58Check(version=0x00, hash160(pubkey))``.
+The reproduction needs addresses that *look and sort* like mainnet ones
+(Table III lists real Base58 addresses) without carrying key material, so
+:func:`synthetic_address` derives the 20-byte payload from a seed via
+``hash160``.  Addresses are plain ``str`` throughout the library; the two
+committed structures consume them through :func:`address_item` (BF and SMT
+insertions hash the same canonical byte form on both sides of the wire).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.encoding import base58check_decode, base58check_encode
+from repro.crypto.hashing import hash160
+from repro.errors import EncodingError
+
+#: Mainnet P2PKH version byte — makes synthetic addresses start with '1'.
+ADDRESS_VERSION = 0x00
+
+
+def synthetic_address(seed: "int | bytes") -> str:
+    """Deterministic address from a seed (int or bytes).
+
+    Distinct seeds give independent ``hash160`` payloads, so the address
+    population has the same uniform distribution over the Base58 space as
+    mainnet — which is what the SMT's lexicographic interval structure and
+    the BF position derivation both assume.
+    """
+    if isinstance(seed, int):
+        if seed < 0:
+            raise ValueError(f"address seed must be non-negative, got {seed}")
+        seed = seed.to_bytes(8, "little")
+    return base58check_encode(ADDRESS_VERSION, hash160(seed))
+
+
+def is_valid_address(address: str) -> bool:
+    """Structural check: Base58Check, right version, 20-byte payload."""
+    try:
+        version, payload = base58check_decode(address)
+    except EncodingError:
+        return False
+    return version == ADDRESS_VERSION and len(payload) == 20
+
+
+def address_item(address: str) -> bytes:
+    """Canonical byte form inserted into Bloom filters.
+
+    The light node recomputes checked bit positions from the same bytes,
+    so this function is part of the protocol, not an implementation detail.
+    """
+    return address.encode("utf-8")

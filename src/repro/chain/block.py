@@ -1,0 +1,342 @@
+"""Blocks and the header variants of the four evaluated systems.
+
+A header always starts with Bitcoin's 80-byte core (version, prev-hash,
+Merkle root, timestamp, bits, nonce) and then carries one of four
+*extensions* — the storage design each prototype in §VII-B commits to:
+
+====================  =====================================  ==============
+extension             contents                               system
+====================  =====================================  ==============
+:class:`NoExtension`  nothing (plain Bitcoin)                original SPV
+:class:`BloomExtension`        the full per-block BF         strawman §IV-A
+:class:`BloomHashExtension`    32-byte hash of the BF        strawman variant (§VII-B baseline), LVQ-no-BMT
+:class:`LvqExtension`          BMT root + SMT root (64 B)    LVQ, LVQ-no-SMT
+====================  =====================================  ==============
+
+The light node's storage burden per block is exactly
+``len(header.serialize())`` — the quantity behind the paper's Challenge 1.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Sequence
+
+from repro.bloom.filter import BloomFilter
+from repro.chain.transaction import Transaction
+from repro.crypto.encoding import ByteReader, write_varint
+from repro.crypto.hashing import HASH_SIZE, sha256d
+from repro.errors import EncodingError
+from repro.merkle.tree import MerkleTree
+
+#: Size of the Bitcoin core header fields, byte-exact.
+BASE_HEADER_SIZE = 80
+
+_EXT_NONE = 0
+_EXT_BLOOM = 1
+_EXT_BLOOM_HASH = 2
+_EXT_LVQ = 3
+_EXT_BLOOM_HASH_SMT = 4
+_EXT_BMT_ONLY = 5
+
+
+class HeaderExtension:
+    """Base class for the system-specific header tail."""
+
+    kind: int = _EXT_NONE
+
+    def serialize(self) -> bytes:
+        raise NotImplementedError
+
+    def size_bytes(self) -> int:
+        return len(self.serialize())
+
+
+class NoExtension(HeaderExtension):
+    """Plain Bitcoin header — no verifiable-query support."""
+
+    kind = _EXT_NONE
+
+    def serialize(self) -> bytes:
+        return b""
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NoExtension)
+
+
+class BloomExtension(HeaderExtension):
+    """Strawman: the whole per-block Bloom filter lives in the header."""
+
+    kind = _EXT_BLOOM
+
+    def __init__(self, bloom: BloomFilter) -> None:
+        self.bloom = bloom
+
+    def serialize(self) -> bytes:
+        return self.bloom.to_bytes()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BloomExtension) and self.bloom == other.bloom
+
+
+class BloomHashExtension(HeaderExtension):
+    """Only ``H(BF)`` is stored; the filter itself ships with query results."""
+
+    kind = _EXT_BLOOM_HASH
+
+    def __init__(self, bloom_hash: bytes) -> None:
+        if len(bloom_hash) != HASH_SIZE:
+            raise ValueError(f"bloom hash must be {HASH_SIZE} bytes")
+        self.bloom_hash = bloom_hash
+
+    def serialize(self) -> bytes:
+        return self.bloom_hash
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BloomHashExtension)
+            and self.bloom_hash == other.bloom_hash
+        )
+
+
+class LvqExtension(HeaderExtension):
+    """LVQ: 32-byte BMT root plus 32-byte SMT root (Fig 7)."""
+
+    kind = _EXT_LVQ
+
+    def __init__(self, bmt_root: bytes, smt_root: bytes) -> None:
+        if len(bmt_root) != HASH_SIZE or len(smt_root) != HASH_SIZE:
+            raise ValueError(f"roots must be {HASH_SIZE} bytes")
+        self.bmt_root = bmt_root
+        self.smt_root = smt_root
+
+    def serialize(self) -> bytes:
+        return self.bmt_root + self.smt_root
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LvqExtension)
+            and self.bmt_root == other.bmt_root
+            and self.smt_root == other.smt_root
+        )
+
+
+class BloomHashSmtExtension(HeaderExtension):
+    """LVQ-without-BMT ablation: ``H(BF)`` plus the SMT root (64 bytes)."""
+
+    kind = _EXT_BLOOM_HASH_SMT
+
+    def __init__(self, bloom_hash: bytes, smt_root: bytes) -> None:
+        if len(bloom_hash) != HASH_SIZE or len(smt_root) != HASH_SIZE:
+            raise ValueError(f"commitments must be {HASH_SIZE} bytes")
+        self.bloom_hash = bloom_hash
+        self.smt_root = smt_root
+
+    def serialize(self) -> bytes:
+        return self.bloom_hash + self.smt_root
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BloomHashSmtExtension)
+            and self.bloom_hash == other.bloom_hash
+            and self.smt_root == other.smt_root
+        )
+
+
+class BmtExtension(HeaderExtension):
+    """LVQ-without-SMT ablation: only the BMT root (32 bytes)."""
+
+    kind = _EXT_BMT_ONLY
+
+    def __init__(self, bmt_root: bytes) -> None:
+        if len(bmt_root) != HASH_SIZE:
+            raise ValueError(f"bmt root must be {HASH_SIZE} bytes")
+        self.bmt_root = bmt_root
+
+    def serialize(self) -> bytes:
+        return self.bmt_root
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BmtExtension) and self.bmt_root == other.bmt_root
+
+
+class BlockHeader:
+    """Bitcoin's 80-byte header core plus a system-specific extension."""
+
+    __slots__ = (
+        "version",
+        "prev_hash",
+        "merkle_root",
+        "timestamp",
+        "bits",
+        "nonce",
+        "extension",
+        "_block_id",
+    )
+
+    def __init__(
+        self,
+        prev_hash: bytes,
+        merkle_root: bytes,
+        timestamp: int,
+        extension: Optional[HeaderExtension] = None,
+        version: int = 2,
+        bits: int = 0x1D00FFFF,
+        nonce: int = 0,
+    ) -> None:
+        if len(prev_hash) != HASH_SIZE:
+            raise ValueError(f"prev_hash must be {HASH_SIZE} bytes")
+        if len(merkle_root) != HASH_SIZE:
+            raise ValueError(f"merkle_root must be {HASH_SIZE} bytes")
+        self.version = version
+        self.prev_hash = prev_hash
+        self.merkle_root = merkle_root
+        self.timestamp = timestamp
+        self.bits = bits
+        self.nonce = nonce
+        self.extension = extension if extension is not None else NoExtension()
+        self._block_id: "bytes | None" = None
+
+    def block_id(self) -> bytes:
+        """Double-SHA of the full header (extension included): the chain
+        link.  Including the extension means a light node that validated
+        header linkage has implicitly validated every commitment root."""
+        if self._block_id is None:
+            self._block_id = sha256d(self.serialize())
+        return self._block_id
+
+    # -- serialization -----------------------------------------------------
+
+    def serialize(self) -> bytes:
+        core = struct.pack(
+            "<I32s32sIII",
+            self.version,
+            self.prev_hash,
+            self.merkle_root,
+            self.timestamp,
+            self.bits,
+            self.nonce,
+        )
+        assert len(core) == BASE_HEADER_SIZE
+        return core + self.extension.serialize()
+
+    @classmethod
+    def deserialize(
+        cls, reader: ByteReader, extension_kind: int, bloom_bytes: int = 0
+    ) -> "BlockHeader":
+        """Decode a header whose extension layout the caller knows (it is
+        a chain parameter, like the BF geometry)."""
+        core = reader.bytes(BASE_HEADER_SIZE)
+        version, prev_hash, merkle_root, timestamp, bits, nonce = struct.unpack(
+            "<I32s32sIII", core
+        )
+        extension: HeaderExtension
+        if extension_kind == _EXT_NONE:
+            extension = NoExtension()
+        elif extension_kind == _EXT_BLOOM:
+            if bloom_bytes <= 0:
+                raise EncodingError("bloom extension needs a filter size")
+            extension = BloomExtension(
+                BloomFilter.from_bytes(reader.bytes(bloom_bytes), 1)
+            )
+        elif extension_kind == _EXT_BLOOM_HASH:
+            extension = BloomHashExtension(reader.bytes(HASH_SIZE))
+        elif extension_kind == _EXT_LVQ:
+            extension = LvqExtension(
+                reader.bytes(HASH_SIZE), reader.bytes(HASH_SIZE)
+            )
+        elif extension_kind == _EXT_BLOOM_HASH_SMT:
+            extension = BloomHashSmtExtension(
+                reader.bytes(HASH_SIZE), reader.bytes(HASH_SIZE)
+            )
+        elif extension_kind == _EXT_BMT_ONLY:
+            extension = BmtExtension(reader.bytes(HASH_SIZE))
+        else:
+            raise EncodingError(f"unknown header extension kind {extension_kind}")
+        return cls(
+            prev_hash, merkle_root, timestamp, extension, version, bits, nonce
+        )
+
+    def size_bytes(self) -> int:
+        return BASE_HEADER_SIZE + self.extension.size_bytes()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BlockHeader):
+            return NotImplemented
+        return self.serialize() == other.serialize()
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockHeader(id={self.block_id().hex()[:12]}, "
+            f"ext={type(self.extension).__name__})"
+        )
+
+
+class Block:
+    """A header plus its transaction list."""
+
+    __slots__ = ("header", "transactions", "height")
+
+    def __init__(
+        self,
+        header: BlockHeader,
+        transactions: Sequence[Transaction],
+        height: int,
+    ) -> None:
+        if height < 0:
+            raise ValueError(f"negative block height {height}")
+        self.header = header
+        self.transactions = list(transactions)
+        self.height = height
+
+    # -- derived structures -------------------------------------------------
+
+    def merkle_tree(self) -> MerkleTree:
+        return build_tx_merkle_tree(self.transactions)
+
+    def address_counts(self) -> "dict[str, int]":
+        """Per-address count of distinct transactions touching it — the
+        exact leaf content of this block's SMT."""
+        counts: "dict[str, int]" = {}
+        for transaction in self.transactions:
+            for address in transaction.addresses():
+                counts[address] = counts.get(address, 0) + 1
+        return counts
+
+    def unique_addresses(self) -> List[str]:
+        return sorted(self.address_counts())
+
+    def transactions_involving(self, address: str) -> List[Transaction]:
+        return [tx for tx in self.transactions if tx.involves(address)]
+
+    # -- serialization -----------------------------------------------------
+
+    def body_bytes(self) -> bytes:
+        """The serialized body — what an "integral block" (IB) fragment
+        costs on the wire."""
+        parts = [write_varint(len(self.transactions))]
+        parts.extend(tx.serialize() for tx in self.transactions)
+        return b"".join(parts)
+
+    @staticmethod
+    def body_from_bytes(payload: bytes) -> List[Transaction]:
+        reader = ByteReader(payload)
+        count = reader.varint()
+        if count == 0 or count > 1_000_000:
+            raise EncodingError(f"implausible transaction count {count}")
+        transactions = [Transaction.deserialize(reader) for _ in range(count)]
+        reader.finish()
+        return transactions
+
+    def size_bytes(self) -> int:
+        return self.header.size_bytes() + len(self.body_bytes())
+
+    def __repr__(self) -> str:
+        return f"Block(height={self.height}, txs={len(self.transactions)})"
+
+
+def build_tx_merkle_tree(transactions: Sequence[Transaction]) -> MerkleTree:
+    """The block's transaction Merkle tree (leaves are txids)."""
+    if not transactions:
+        raise ValueError("a block must contain at least a coinbase transaction")
+    return MerkleTree([tx.txid() for tx in transactions])

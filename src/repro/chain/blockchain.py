@@ -1,0 +1,87 @@
+"""The blockchain container: ordered blocks with validated linkage.
+
+``Blockchain`` stores full blocks (the full node's view); the light node
+keeps only ``chain.headers()``.  Height 0 is a genesis block carrying a
+single coinbase transaction; the paper's 1-indexed block numbering maps
+onto heights 1..tip.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.chain.block import Block, BlockHeader
+from repro.errors import ChainError
+
+
+class Blockchain:
+    """An append-only list of blocks with prev-hash linkage checks."""
+
+    def __init__(self, blocks: Sequence[Block] = ()) -> None:
+        self._blocks: List[Block] = []
+        for block in blocks:
+            self.append(block)
+
+    def append(self, block: Block) -> None:
+        expected_height = len(self._blocks)
+        if block.height != expected_height:
+            raise ChainError(
+                f"expected block at height {expected_height}, got {block.height}"
+            )
+        if self._blocks:
+            tip_id = self._blocks[-1].header.block_id()
+            if block.header.prev_hash != tip_id:
+                raise ChainError(
+                    f"block {block.height} does not link to the tip: "
+                    f"prev_hash {block.header.prev_hash.hex()[:12]} != "
+                    f"{tip_id.hex()[:12]}"
+                )
+        mt_root = block.merkle_tree().root
+        if block.header.merkle_root != mt_root:
+            raise ChainError(
+                f"block {block.height} header Merkle root does not match "
+                "its transactions"
+            )
+        self._blocks.append(block)
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def tip_height(self) -> int:
+        if not self._blocks:
+            raise ChainError("empty chain has no tip")
+        return self._blocks[-1].height
+
+    def block_at(self, height: int) -> Block:
+        if not 0 <= height < len(self._blocks):
+            raise ChainError(f"no block at height {height}")
+        return self._blocks[height]
+
+    def header_at(self, height: int) -> BlockHeader:
+        return self.block_at(height).header
+
+    def headers(self) -> List[BlockHeader]:
+        """What a light node stores: every header, bodies stripped."""
+        return [block.header for block in self._blocks]
+
+    def blocks(self, start: int = 0, end: "int | None" = None) -> List[Block]:
+        """Blocks with heights in ``[start, end]`` inclusive."""
+        if end is None:
+            end = len(self._blocks) - 1
+        if start < 0 or end >= len(self._blocks) or start > end:
+            raise ChainError(f"bad block range [{start}, {end}]")
+        return self._blocks[start : end + 1]
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __repr__(self) -> str:
+        return f"Blockchain(blocks={len(self._blocks)})"
+
+
+def header_storage_bytes(headers: Sequence[BlockHeader]) -> int:
+    """Total light-node storage for a header list (Challenge 1 metric)."""
+    return sum(header.size_bytes() for header in headers)

@@ -1,0 +1,106 @@
+"""Merge sets and segment division (paper Algorithm 1, Table I, §V-B, Table II).
+
+Block heights are 1-indexed as in the paper; the height-0 genesis block
+never joins a merge set.  With segment length ``M`` (a power of two):
+
+* the block at height ``h`` merges the ``s = 2^v2(l)`` blocks
+  ``[h - s + 1, h]`` where ``l = ((h - 1) mod M) + 1`` and ``v2`` is the
+  2-adic valuation — the largest power of two dividing ``l``;
+* the chain splits into complete segments ``[kM+1, (k+1)M]`` plus a last
+  partial segment whose length decomposes into descending powers of two,
+  giving the sub-segments of Table II;
+* the *anchor* (last block) of every (sub-)segment merges exactly that
+  (sub-)segment, so its BMT covers it — the invariant the whole LVQ proof
+  decomposition rests on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ChainError
+
+
+def _validate_segment_len(segment_len: int) -> None:
+    if segment_len <= 0 or segment_len & (segment_len - 1):
+        raise ChainError(
+            f"segment length must be a positive power of two, got {segment_len}"
+        )
+
+
+def merge_span(height: int, segment_len: int) -> Tuple[int, int]:
+    """Inclusive ``(start, end)`` of the blocks merged by block ``height``.
+
+    This is Algorithm 1 in closed form: the merge size is the largest
+    power of two dividing the in-segment position ``l`` (``l = M`` for the
+    block closing a segment), and the merged blocks always end at
+    ``height`` itself.
+    """
+    _validate_segment_len(segment_len)
+    if height <= 0:
+        raise ChainError(f"heights are 1-indexed; got {height}")
+    position = height % segment_len
+    if position == 0:
+        position = segment_len
+    size = position & -position  # largest power of two dividing `position`
+    return height - size + 1, height
+
+
+def merge_set(height: int, segment_len: int) -> List[int]:
+    """The merge span as an explicit block list (paper Table I)."""
+    start, end = merge_span(height, segment_len)
+    return list(range(start, end + 1))
+
+
+def segment_spans(tip_height: int, segment_len: int) -> List[Tuple[int, int]]:
+    """Divide heights ``[1, tip_height]`` into complete segments followed
+    by the binary sub-segments of the last partial segment (Table II)."""
+    _validate_segment_len(segment_len)
+    if tip_height < 0:
+        raise ChainError(f"negative tip height {tip_height}")
+    spans: List[Tuple[int, int]] = []
+    complete = tip_height // segment_len
+    for index in range(complete):
+        spans.append((index * segment_len + 1, (index + 1) * segment_len))
+    start = complete * segment_len + 1
+    remainder = tip_height % segment_len
+    bit = segment_len
+    while remainder:
+        bit >>= 1
+        if remainder >= bit:
+            spans.append((start, start + bit - 1))
+            start += bit
+            remainder -= bit
+    return spans
+
+
+def covering_spans(
+    tip_height: int, segment_len: int
+) -> List[Tuple[int, int, int]]:
+    """``(anchor_height, start, end)`` per (sub-)segment.
+
+    The anchor is the (sub-)segment's last block; its header's BMT root
+    commits to exactly ``[start, end]``.  Both the prover and the light
+    node derive this list independently from the tip height, so a full
+    node cannot silently skip a block range.
+    """
+    covering = []
+    for start, end in segment_spans(tip_height, segment_len):
+        anchor_start, anchor_end = merge_span(end, segment_len)
+        if (anchor_start, anchor_end) != (start, end):
+            raise ChainError(
+                f"internal invariant broken: block {end} merges "
+                f"[{anchor_start},{anchor_end}], expected [{start},{end}]"
+            )
+        covering.append((end, start, end))
+    return covering
+
+
+def is_anchor_for(
+    height: int, start: int, end: int, segment_len: int
+) -> bool:
+    """Does block ``height``'s BMT cover exactly ``[start, end]``?"""
+    try:
+        return merge_span(height, segment_len) == (start, end) and height == end
+    except ChainError:
+        return False

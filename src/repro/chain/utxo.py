@@ -1,0 +1,97 @@
+"""UTXO tracking and Equation 1 balance computation.
+
+Two views of "balance" exist in the library:
+
+* :func:`balance_from_history` — the light node's view: Equation 1 applied
+  to a (verified) transaction history, ``Σ outputs − Σ inputs``;
+* :class:`UtxoSet` — the full node's consensus view, which also validates
+  that every input spends a real unspent output with matching address and
+  value (catching a dishonest workload or a corrupted chain).
+
+On a valid chain the two agree for every address, and the integration
+tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.chain.transaction import Transaction
+from repro.errors import ChainError
+
+
+class UtxoSet:
+    """The set of unspent transaction outputs, keyed by ``(txid, vout)``."""
+
+    def __init__(self) -> None:
+        self._outputs: Dict[Tuple[bytes, int], Tuple[str, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._outputs)
+
+    def __contains__(self, outpoint: Tuple[bytes, int]) -> bool:
+        return outpoint in self._outputs
+
+    def value_of(self, outpoint: Tuple[bytes, int]) -> int:
+        return self._outputs[outpoint][1]
+
+    def apply_transaction(self, transaction: Transaction) -> None:
+        """Spend the inputs, create the outputs; raise on inconsistency."""
+        if not transaction.is_coinbase:
+            for tx_input in transaction.inputs:
+                outpoint = (tx_input.prev_txid, tx_input.prev_index)
+                spent = self._outputs.get(outpoint)
+                if spent is None:
+                    raise ChainError(
+                        f"input spends unknown outpoint "
+                        f"{tx_input.prev_txid.hex()[:12]}:{tx_input.prev_index}"
+                    )
+                address, value = spent
+                if address != tx_input.address or value != tx_input.value:
+                    raise ChainError(
+                        "self-describing input disagrees with the spent "
+                        f"output: claims ({tx_input.address}, "
+                        f"{tx_input.value}), chain has ({address}, {value})"
+                    )
+                del self._outputs[outpoint]
+        txid = transaction.txid()
+        for index, tx_output in enumerate(transaction.outputs):
+            self._outputs[(txid, index)] = (tx_output.address, tx_output.value)
+
+    def apply_block(self, transactions: Iterable[Transaction]) -> None:
+        for transaction in transactions:
+            self.apply_transaction(transaction)
+
+    def balance(self, address: str) -> int:
+        """Sum of unspent outputs owned by ``address``."""
+        return sum(
+            value
+            for owner, value in self._outputs.values()
+            if owner == address
+        )
+
+    def outpoints_of(self, address: str) -> Dict[Tuple[bytes, int], int]:
+        """Spendable outpoints of ``address`` with their values."""
+        return {
+            outpoint: value
+            for outpoint, (owner, value) in self._outputs.items()
+            if owner == address
+        }
+
+
+def balance_from_history(
+    address: str, transactions: Iterable[Transaction]
+) -> int:
+    """Equation 1: ``Balance(addr) = Σ v_j (outputs) − Σ w_i (inputs)``.
+
+    ``transactions`` is the address's verified history; transactions not
+    involving the address contribute nothing, so passing a superset is
+    harmless (but a *verified-complete* history is required for the result
+    to be trustworthy — that is the entire point of the paper).
+    """
+    received = 0
+    sent = 0
+    for transaction in transactions:
+        received += transaction.received_by(address)
+        sent += transaction.sent_by(address)
+    return received - sent

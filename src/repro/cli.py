@@ -1,0 +1,317 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five subcommands, each a self-contained demonstration on a synthetic
+chain (sizes/seeds configurable):
+
+* ``query``    — verifiable history + balance of one probe address;
+* ``compare``  — Fig-12-style result-size comparison across all systems;
+* ``storage``  — Challenge-1 light-node storage comparison;
+* ``attack``   — run the §VI adversary suite and show every rejection;
+* ``segments`` — print merge sets / segment division (Tables I & II).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_bytes, render_table
+from repro.analysis.sizing import storage_table
+from repro.chain.segments import merge_set, segment_spans
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.node.transport import InProcessTransport
+from repro.query.builder import build_system
+from repro.query.config import SystemConfig
+from repro.workload.generator import WorkloadParams, generate_workload
+
+
+def _add_chain_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--blocks", type=int, default=128, help="chain length")
+    parser.add_argument(
+        "--txs-per-block", type=int, default=16, help="background txs/block"
+    )
+    parser.add_argument("--seed", type=int, default=2020, help="workload seed")
+    parser.add_argument(
+        "--bf-bytes", type=int, default=512, help="Bloom filter size (bytes)"
+    )
+    parser.add_argument(
+        "--segment-len",
+        type=int,
+        default=0,
+        help="LVQ segment length M (default: largest power of two <= blocks)",
+    )
+
+
+def _segment_len(args) -> int:
+    if args.segment_len:
+        return args.segment_len
+    length = 1
+    while length * 2 <= args.blocks:
+        length *= 2
+    return length
+
+
+def _workload(args):
+    return generate_workload(
+        WorkloadParams(
+            num_blocks=args.blocks,
+            txs_per_block=args.txs_per_block,
+            seed=args.seed,
+        )
+    )
+
+
+def _all_configs(args):
+    segment_len = _segment_len(args)
+    return {
+        "strawman": SystemConfig.strawman(bf_bytes=args.bf_bytes),
+        "lvq_no_bmt": SystemConfig.lvq_no_bmt(bf_bytes=args.bf_bytes),
+        "lvq_no_smt": SystemConfig.lvq_no_smt(
+            bf_bytes=args.bf_bytes * 3, segment_len=segment_len
+        ),
+        "lvq": SystemConfig.lvq(
+            bf_bytes=args.bf_bytes * 3, segment_len=segment_len
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+
+
+def cmd_query(args) -> int:
+    workload = _workload(args)
+    config = SystemConfig.lvq(
+        bf_bytes=args.bf_bytes * 3, segment_len=_segment_len(args)
+    )
+    system = build_system(workload.bodies, config)
+    full_node = FullNode(system)
+    light_node = LightNode.from_full_node(full_node)
+
+    if args.address in workload.probe_addresses:
+        address = workload.probe_addresses[args.address]
+    else:
+        address = args.address
+    transport = InProcessTransport()
+    kwargs = {}
+    if args.range:
+        first, last = args.range
+        kwargs = {"first_height": first, "last_height": last}
+    history = light_node.query_history(full_node, address, transport, **kwargs)
+
+    print(f"address       : {address}")
+    print(f"transactions  : {len(history.transactions)}")
+    print(f"active blocks : {len(history.heights())}")
+    print(f"balance (Eq 1): {history.balance():,}")
+    print(f"BMT endpoints : {history.num_endpoints}")
+    print(f"proof bytes   : {transport.stats.bytes_to_client:,}")
+    if args.verbose:
+        for height, tx in history.transactions:
+            received = tx.received_by(address)
+            sent = tx.sent_by(address)
+            print(
+                f"  h={height:6d} {tx.txid().hex()[:16]} "
+                f"recv={received:+d} sent={-sent:+d}"
+            )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    workload = _workload(args)
+    configs = _all_configs(args)
+    sizes = {}
+    for label, config in configs.items():
+        system = build_system(workload.bodies, config)
+        full_node = FullNode(system)
+        sizes[label] = {
+            name: full_node.query(address).size_bytes(config)
+            for name, address in workload.probe_addresses.items()
+        }
+    rows = [
+        [name] + [format_bytes(sizes[label][name]) for label in configs]
+        for name in workload.probe_addresses
+    ]
+    print(render_table(["Address", *configs.keys()], rows))
+    return 0
+
+
+def cmd_storage(args) -> int:
+    workload = _workload(args)
+    configs = _all_configs(args)
+    configs["strawman_header_bf"] = SystemConfig.strawman_header_bf(
+        bf_bytes=args.bf_bytes
+    )
+    labelled = [
+        (label, build_system(workload.bodies, config).headers())
+        for label, config in configs.items()
+    ]
+    rows = storage_table(labelled)
+    print(
+        render_table(
+            ["System", "Blocks", "Total", "Overhead/block", "vs Bitcoin"],
+            [
+                [
+                    row["system"],
+                    row["blocks"],
+                    format_bytes(row["total_bytes"]),
+                    f"{row['per_block_overhead']}B",
+                    f"{row['vs_bitcoin']:.2f}x",
+                ]
+                for row in rows
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_attack(args) -> int:
+    from repro.errors import VerificationError
+    from repro.query.adversary import ALL_ATTACKS, MaliciousFullNode
+
+    workload = _workload(args)
+    config = SystemConfig.lvq(
+        bf_bytes=args.bf_bytes * 3, segment_len=_segment_len(args)
+    )
+    system = build_system(workload.bodies, config)
+    light_node = LightNode(system.headers(), config)
+    address = workload.probe_addresses[args.address] if (
+        args.address in workload.probe_addresses
+    ) else args.address
+
+    undetected = 0
+    for name, attack in sorted(ALL_ATTACKS.items()):
+        liar = MaliciousFullNode(system, attack)
+        try:
+            light_node.query_history(liar, address)
+        except VerificationError as reason:
+            print(f"{name:28s} rejected: {str(reason)[:80]}")
+        else:
+            if liar.last_attack_applied:
+                undetected += 1
+                print(f"{name:28s} *** ACCEPTED A MODIFIED ANSWER ***")
+            else:
+                print(f"{name:28s} no-op for this address (answer honest)")
+    return 1 if undetected else 0
+
+
+def cmd_wallet(args) -> int:
+    """A watch-only wallet session: batch-refresh several probes, then
+    optionally persist the wallet to disk."""
+    from repro.analysis.report import render_table as _render
+    from repro.node.light_node import LightNode
+    from repro.wallet import Wallet
+
+    workload = _workload(args)
+    config = SystemConfig.lvq(
+        bf_bytes=args.bf_bytes * 3, segment_len=_segment_len(args)
+    )
+    system = build_system(workload.bodies, config)
+    full_node = FullNode(system)
+
+    watched = []
+    for name in args.watch:
+        watched.append(workload.probe_addresses.get(name, name))
+    wallet = Wallet(LightNode.from_full_node(full_node), watched)
+    wallet.refresh(full_node)
+
+    print(
+        _render(
+            ["Address", "Verified balance", "#Tx"],
+            [
+                [
+                    address,
+                    f"{wallet.balance(address):,}",
+                    len(wallet.history(address)),
+                ]
+                for address in wallet.addresses
+            ],
+        )
+    )
+    print(f"Total: {wallet.total_balance():,}")
+    if args.save:
+        wallet.save(args.save)
+        print(f"Wallet persisted to {args.save}")
+    return 0
+
+
+def cmd_segments(args) -> int:
+    print("Table I — merge sets (M = 4096):")
+    print(
+        render_table(
+            ["Height", "Blocks to be merged"],
+            [
+                [height, ", ".join(map(str, merge_set(height, 4096)))]
+                for height in range(1, 9)
+            ],
+        )
+    )
+    print(f"\nSegment division for tip={args.tip}, M={args.segment}:")
+    spans = segment_spans(args.tip, args.segment)
+    print(", ".join(f"[{start},{end}]" for start, end in spans))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="verifiable history of one address")
+    _add_chain_arguments(query)
+    query.add_argument(
+        "--address", default="Addr4",
+        help="probe name (Addr1..Addr6) or literal address",
+    )
+    query.add_argument(
+        "--range", type=int, nargs=2, metavar=("FIRST", "LAST"),
+        help="restrict the query to a height range",
+    )
+    query.add_argument("--verbose", action="store_true")
+    query.set_defaults(func=cmd_query)
+
+    compare = sub.add_parser("compare", help="Fig-12-style size comparison")
+    _add_chain_arguments(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    storage = sub.add_parser("storage", help="Challenge-1 storage comparison")
+    _add_chain_arguments(storage)
+    storage.set_defaults(func=cmd_storage)
+
+    attack = sub.add_parser("attack", help="run the §VI adversary suite")
+    _add_chain_arguments(attack)
+    attack.add_argument("--address", default="Addr5")
+    attack.set_defaults(func=cmd_attack)
+
+    wallet = sub.add_parser("wallet", help="watch-only wallet session")
+    _add_chain_arguments(wallet)
+    wallet.add_argument(
+        "--watch",
+        nargs="+",
+        default=["Addr2", "Addr4", "Addr6"],
+        help="probe names or literal addresses to watch",
+    )
+    wallet.add_argument("--save", help="directory to persist the wallet to")
+    wallet.set_defaults(func=cmd_wallet)
+
+    segments = sub.add_parser("segments", help="Tables I & II calculators")
+    segments.add_argument("--tip", type=int, default=464)
+    segments.add_argument("--segment", type=int, default=256)
+    segments.set_defaults(func=cmd_segments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

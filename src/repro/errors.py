@@ -1,0 +1,70 @@
+"""Exception hierarchy for the LVQ reproduction.
+
+Every failure mode raised by the library derives from :class:`ReproError`,
+so callers can catch a single base class.  Verification failures carry a
+human-readable reason describing which check rejected the proof; the light
+node surfaces these reasons so that a user can tell *why* a full node's
+response was rejected (a wrong Merkle root, an uncovered block range, a
+mismatching appearance count, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class EncodingError(ReproError):
+    """Malformed serialized bytes (truncated, bad checksum, bad varint...)."""
+
+
+class ChainError(ReproError):
+    """Inconsistent blockchain state (bad linkage, unknown height...)."""
+
+
+class WorkloadError(ReproError):
+    """The synthetic workload generator was asked for something impossible."""
+
+
+class ProofError(ReproError):
+    """A proof object is structurally malformed (before verification)."""
+
+
+class VerificationError(ReproError):
+    """A proof failed verification against trusted header commitments.
+
+    The message always names the failing check, e.g. ``"BMT root mismatch
+    at height 4096"`` or ``"SMT count 2 != 3 Merkle branches supplied"``.
+    """
+
+
+class CorrectnessError(VerificationError):
+    """Query result contains data that is not actually on chain."""
+
+
+class CompletenessError(VerificationError):
+    """Query result omits on-chain data (a non-membership check failed)."""
+
+
+class QueryError(ReproError):
+    """The full node could not serve a query (unknown system, bad range)."""
+
+
+class TransportError(ReproError):
+    """Simulated network failure (closed transport, oversized message)."""
+
+
+class NoHonestPeerError(VerificationError):
+    """Every queried full node returned an unverifiable answer.
+
+    ``reasons`` maps a peer label to the error its answer raised, so the
+    operator can see *why* each peer was rejected.
+    """
+
+    def __init__(self, reasons: "dict[str, Exception]") -> None:
+        details = "; ".join(
+            f"{peer}: {error}" for peer, error in reasons.items()
+        )
+        super().__init__(f"no peer produced a verifiable answer ({details})")
+        self.reasons = reasons

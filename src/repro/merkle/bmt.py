@@ -1,0 +1,779 @@
+"""Bloom-filter-integrated Merkle Tree (paper §III-B2, §IV-B1, Fig 3-5, 11).
+
+A BMT node carries both a hash and a Bloom filter:
+
+* ``node.bf = left.bf | right.bf``                       (Eq 3)
+* ``node.hash = H(left.hash, right.hash, node.bf)``      (Eq 2, layer > 0)
+* ``leaf.hash = H(leaf.bf)``                             (Eq 2, layer = 0)
+
+Binding the BF into the hash is what makes BMT branches unforgeable
+(§VI): a tampered filter changes every ancestor hash.
+
+Each leaf is the address filter of one block; a tree over ``2^d``
+consecutive blocks lets a single *successful check* (some checked bit
+position is 0) prove an address absent from all ``2^d`` blocks at once.
+Checking descends from the root and stops at **endpoint nodes**: either a
+node whose check succeeds (a ``CLEAN`` endpoint — inexistence proven for
+its whole subtree) or a leaf whose check fails (``LEAF_FAILED`` — the
+address is either really in that block or a false positive; block-level
+SMT evidence resolves which).
+
+Two proof forms are implemented:
+
+* :class:`BmtBranch` — the single-endpoint branch of Fig 4/5, with
+  ``(hash, bf)`` sibling stubs along the path;
+* :class:`BmtMultiProof` — the merged proof of Fig 11.  Because a failed
+  check always explores *both* children, the union of all endpoint paths
+  is a full frontier of the tree, so the merged proof is simply a
+  recursive partial-tree encoding in which every interior ``(hash, bf)``
+  is recomputed by the verifier and only endpoint filters ship.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bloom.filter import BloomFilter, bloom_positions
+from repro.crypto.encoding import ByteReader, write_varint
+from repro.crypto.hashing import HASH_SIZE, tagged_hash
+from repro.errors import EncodingError, ProofError, VerificationError
+
+_LEAF_TAG = "bmt/leaf"
+_NODE_TAG = "bmt/node"
+
+# Multiproof node tags (serialized as single bytes).
+_TAG_INTERNAL = 0
+_TAG_CLEAN_LEAF = 1
+_TAG_CLEAN_INTERNAL = 2
+_TAG_FAILED_LEAF = 3
+# Range-query stubs: subtrees entirely outside the queried height range
+# contribute only the material needed to recompute ancestors (§V extension
+# "a query of larger range can be performed similarly" — and of *smaller*
+# range, symmetrically).  A leaf stub is just its filter (its hash is
+# H(bf)); an internal stub is its hash plus its filter.
+_TAG_STUB_LEAF = 4
+_TAG_STUB_INTERNAL = 5
+
+
+class EndpointKind(enum.Enum):
+    """Why the BMT descent stopped at a node."""
+
+    CLEAN = "clean"  # check succeeded: address absent from the subtree
+    LEAF_FAILED = "leaf_failed"  # bottom layer reached with all bits set
+
+
+def leaf_hash(bf: BloomFilter) -> bytes:
+    return tagged_hash(_LEAF_TAG, bf.to_bytes())
+
+
+def node_hash(left_hash: bytes, right_hash: bytes, bf: BloomFilter) -> bytes:
+    return tagged_hash(_NODE_TAG, left_hash, right_hash, bf.to_bytes())
+
+
+class BmtNode:
+    """One node of a built BMT; leaves know which block height they cover."""
+
+    __slots__ = ("hash", "bf", "layer", "start", "end", "left", "right")
+
+    def __init__(
+        self,
+        hash_value: bytes,
+        bf: BloomFilter,
+        layer: int,
+        start: int,
+        end: int,
+        left: "Optional[BmtNode]" = None,
+        right: "Optional[BmtNode]" = None,
+    ) -> None:
+        self.hash = hash_value
+        self.bf = bf
+        self.layer = layer
+        self.start = start  # first covered block height (inclusive)
+        self.end = end  # last covered block height (inclusive)
+        self.left = left
+        self.right = right
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.layer == 0
+
+    @property
+    def num_blocks(self) -> int:
+        return self.end - self.start + 1
+
+    def __repr__(self) -> str:
+        return f"BmtNode(layer={self.layer}, blocks=[{self.start},{self.end}])"
+
+
+class BmtEndpoint:
+    """An endpoint node found by the existence check."""
+
+    __slots__ = ("node", "kind")
+
+    def __init__(self, node: BmtNode, kind: EndpointKind) -> None:
+        self.node = node
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"BmtEndpoint({self.kind.value}, {self.node!r})"
+
+
+class BmtTree:
+    """A built BMT over the Bloom filters of consecutive blocks."""
+
+    def __init__(self, root: BmtNode) -> None:
+        self.root = root
+
+    @classmethod
+    def build(cls, leaves: Sequence[Tuple[int, BloomFilter]]) -> "BmtTree":
+        """Build over ``(height, bf)`` pairs.
+
+        Heights must be consecutive and the count a power of two — the
+        merge sets of Algorithm 1 always satisfy both.
+        """
+        if not leaves:
+            raise ValueError("BMT needs at least one leaf")
+        count = len(leaves)
+        if count & (count - 1):
+            raise ValueError(f"BMT leaf count must be a power of two: {count}")
+        heights = [height for height, _bf in leaves]
+        if heights != list(range(heights[0], heights[0] + count)):
+            raise ValueError("BMT leaves must cover consecutive heights")
+        nodes = [
+            BmtNode(leaf_hash(bf), bf, 0, height, height)
+            for height, bf in leaves
+        ]
+        layer = 0
+        while len(nodes) > 1:
+            layer += 1
+            paired = []
+            for i in range(0, len(nodes), 2):
+                left, right = nodes[i], nodes[i + 1]
+                merged = left.bf | right.bf
+                paired.append(
+                    BmtNode(
+                        node_hash(left.hash, right.hash, merged),
+                        merged,
+                        layer,
+                        left.start,
+                        right.end,
+                        left,
+                        right,
+                    )
+                )
+            nodes = paired
+        return cls(nodes[0])
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def num_leaves(self) -> int:
+        return self.root.num_blocks
+
+    @property
+    def depth(self) -> int:
+        return self.root.layer
+
+    @property
+    def start(self) -> int:
+        return self.root.start
+
+    @property
+    def end(self) -> int:
+        return self.root.end
+
+    # -- checking ----------------------------------------------------------
+
+    def find_endpoints(self, item: bytes) -> List[BmtEndpoint]:
+        """Top-down existence check; returns endpoints left to right."""
+        positions = bloom_positions(
+            item, self.root.bf.num_hashes, self.root.bf.size_bits
+        )
+        endpoints: List[BmtEndpoint] = []
+        self._descend(self.root, positions, endpoints)
+        return endpoints
+
+    @staticmethod
+    def _descend(
+        node: BmtNode, positions: List[int], out: List[BmtEndpoint]
+    ) -> None:
+        if not node.bf.bits.covers_positions(positions):
+            out.append(BmtEndpoint(node, EndpointKind.CLEAN))
+            return
+        if node.is_leaf:
+            out.append(BmtEndpoint(node, EndpointKind.LEAF_FAILED))
+            return
+        assert node.left is not None and node.right is not None
+        BmtTree._descend(node.left, positions, out)
+        BmtTree._descend(node.right, positions, out)
+
+    # -- proofs ------------------------------------------------------------
+
+    def branch(self, endpoint: BmtEndpoint) -> "BmtBranch":
+        """Single-endpoint branch (Fig 4/5) for one endpoint node."""
+        path: List[BmtNode] = []
+        node = self.root
+        while node is not endpoint.node:
+            assert node.left is not None and node.right is not None
+            if endpoint.node.end <= node.left.end:
+                path.append(node.right)
+                node = node.left
+            else:
+                path.append(node.left)
+                node = node.right
+        # ``path`` holds siblings from root level down; reverse for fold-up.
+        siblings = [(sib.hash, sib.bf) for sib in reversed(path)]
+        child_hashes = None
+        if not endpoint.node.is_leaf:
+            assert endpoint.node.left is not None
+            assert endpoint.node.right is not None
+            child_hashes = (endpoint.node.left.hash, endpoint.node.right.hash)
+        index = (endpoint.node.start - self.start) >> endpoint.node.layer
+        return BmtBranch(
+            endpoint.node.bf,
+            endpoint.node.layer,
+            index,
+            child_hashes,
+            siblings,
+        )
+
+    def multiproof(
+        self,
+        item: bytes,
+        query_range: "Optional[Tuple[int, int]]" = None,
+    ) -> "BmtMultiProof":
+        """Merged inexistence/endpoint proof (Fig 11) for ``item``.
+
+        With ``query_range=(first, last)`` the proof is *restricted*:
+        subtrees entirely outside that height range ship as ``(hash, bf)``
+        stubs, supporting verifiable range queries over a slice of the
+        blocks the tree covers.
+        """
+        positions = bloom_positions(
+            item, self.root.bf.num_hashes, self.root.bf.size_bits
+        )
+        if query_range is None:
+            query_range = (self.start, self.end)
+        first, last = query_range
+        if first > last or first > self.end or last < self.start:
+            raise ValueError(
+                f"query range [{first},{last}] does not intersect the tree "
+                f"range [{self.start},{self.end}]"
+            )
+        return BmtMultiProof(
+            self._build_proof(self.root, positions, first, last)
+        )
+
+    @staticmethod
+    def _build_proof(
+        node: BmtNode, positions: List[int], first: int, last: int
+    ) -> "_ProofNode":
+        if node.end < first or node.start > last:  # fully outside the range
+            if node.is_leaf:
+                return _ProofNode(_TAG_STUB_LEAF, bf=node.bf)
+            return _ProofNode(
+                _TAG_STUB_INTERNAL, bf=node.bf, stub_hash=node.hash
+            )
+        if not node.bf.bits.covers_positions(positions):
+            if node.is_leaf:
+                return _ProofNode(_TAG_CLEAN_LEAF, bf=node.bf)
+            assert node.left is not None and node.right is not None
+            return _ProofNode(
+                _TAG_CLEAN_INTERNAL,
+                bf=node.bf,
+                child_hashes=(node.left.hash, node.right.hash),
+            )
+        if node.is_leaf:
+            return _ProofNode(_TAG_FAILED_LEAF, bf=node.bf)
+        assert node.left is not None and node.right is not None
+        return _ProofNode(
+            _TAG_INTERNAL,
+            left=BmtTree._build_proof(node.left, positions, first, last),
+            right=BmtTree._build_proof(node.right, positions, first, last),
+        )
+
+    def __repr__(self) -> str:
+        return f"BmtTree(blocks=[{self.start},{self.end}], depth={self.depth})"
+
+
+class _ProofNode:
+    """In-memory node of a multiproof frontier."""
+
+    __slots__ = ("tag", "bf", "child_hashes", "left", "right", "stub_hash")
+
+    def __init__(
+        self,
+        tag: int,
+        bf: Optional[BloomFilter] = None,
+        child_hashes: Optional[Tuple[bytes, bytes]] = None,
+        left: "Optional[_ProofNode]" = None,
+        right: "Optional[_ProofNode]" = None,
+        stub_hash: Optional[bytes] = None,
+    ) -> None:
+        self.tag = tag
+        self.bf = bf
+        self.child_hashes = child_hashes
+        self.left = left
+        self.right = right
+        self.stub_hash = stub_hash
+
+
+class VerifiedBmt:
+    """Outcome of a successful multiproof verification."""
+
+    __slots__ = ("clean_ranges", "failed_heights", "num_endpoints")
+
+    def __init__(
+        self,
+        clean_ranges: List[Tuple[int, int]],
+        failed_heights: List[int],
+        num_endpoints: int,
+    ) -> None:
+        #: Height ranges proven to not contain the address.
+        self.clean_ranges = clean_ranges
+        #: Heights whose per-block filter check failed (need SMT evidence).
+        self.failed_heights = failed_heights
+        self.num_endpoints = num_endpoints
+
+
+class BmtMultiProof:
+    """Merged endpoint proof for one BMT (the form LVQ queries ship)."""
+
+    def __init__(self, root: _ProofNode) -> None:
+        self._root = root
+
+    # -- verification ------------------------------------------------------
+
+    def verify(
+        self,
+        expected_root: bytes,
+        item: bytes,
+        start_height: int,
+        num_blocks: int,
+        size_bits: int,
+        num_hashes: int,
+        query_range: "Optional[Tuple[int, int]]" = None,
+    ) -> VerifiedBmt:
+        """Check the proof against a trusted ``expected_root``.
+
+        Raises :class:`VerificationError` on any inconsistency.  On
+        success, the union of ``clean_ranges`` and ``failed_heights``
+        covers ``[start_height, start_height + num_blocks)`` exactly — the
+        structural guarantee completeness verification builds on.
+
+        Contract: ``start_height`` and ``num_blocks`` must come from the
+        verifier's own trusted chain state (the covering-segment
+        computation), never from the prover.  Eq 2 hashes do not encode a
+        node's layer, so the claimed block count is what anchors endpoint
+        ranges; LVQ's light node always derives it from its header count.
+
+        ``query_range=(first, last)`` verifies a *restricted* proof: stub
+        nodes are accepted only for subtrees entirely outside that range,
+        so on success the clean/failed partition still covers every
+        in-range block.  Without it, stub nodes are rejected outright.
+        """
+        if num_blocks <= 0 or num_blocks & (num_blocks - 1):
+            raise VerificationError(
+                f"BMT block count must be a power of two: {num_blocks}"
+            )
+        if query_range is None:
+            query_range = (start_height, start_height + num_blocks - 1)
+        first, last = query_range
+        if first > last:
+            raise VerificationError(f"empty query range [{first},{last}]")
+        depth = num_blocks.bit_length() - 1
+        positions = bloom_positions(item, num_hashes, size_bits)
+        result = VerifiedBmt([], [], 0)
+        hash_value, _bf = self._verify_node(
+            self._root,
+            depth,
+            start_height,
+            positions,
+            size_bits,
+            result,
+            first,
+            last,
+        )
+        if hash_value != expected_root:
+            raise VerificationError("BMT multiproof root hash mismatch")
+        return result
+
+    def _verify_node(
+        self,
+        node: _ProofNode,
+        layer: int,
+        start: int,
+        positions: List[int],
+        size_bits: int,
+        result: VerifiedBmt,
+        first: int,
+        last: int,
+    ) -> Tuple[bytes, BloomFilter]:
+        span = 1 << layer
+        if node.tag == _TAG_INTERNAL:
+            if layer == 0:
+                raise VerificationError("internal proof node at leaf layer")
+            assert node.left is not None and node.right is not None
+            left_hash, left_bf = self._verify_node(
+                node.left,
+                layer - 1,
+                start,
+                positions,
+                size_bits,
+                result,
+                first,
+                last,
+            )
+            right_hash, right_bf = self._verify_node(
+                node.right,
+                layer - 1,
+                start + span // 2,
+                positions,
+                size_bits,
+                result,
+                first,
+                last,
+            )
+            merged = left_bf | right_bf
+            if not merged.bits.covers_positions(positions):
+                raise VerificationError(
+                    "descent past a node whose check already succeeds "
+                    f"(layer {layer}, start {start}) — proof is not minimal"
+                )
+            return node_hash(left_hash, right_hash, merged), merged
+
+        bf = node.bf
+        assert bf is not None
+        if bf.size_bits != size_bits:
+            raise VerificationError(
+                f"BF size {bf.size_bits} bits differs from the chain "
+                f"parameter {size_bits}"
+            )
+
+        if node.tag in (_TAG_STUB_LEAF, _TAG_STUB_INTERNAL):
+            end = start + span - 1
+            if not (end < first or start > last):
+                raise VerificationError(
+                    f"stub node covering [{start},{end}] intrudes into the "
+                    f"queried range [{first},{last}]"
+                )
+            if node.tag == _TAG_STUB_LEAF:
+                if layer != 0:
+                    raise VerificationError("leaf stub above layer 0")
+                return leaf_hash(bf), bf
+            if layer == 0:
+                raise VerificationError("internal stub at leaf layer")
+            if node.stub_hash is None:
+                raise VerificationError("internal stub lacks its hash")
+            return node.stub_hash, bf
+
+        check_failed = bf.bits.covers_positions(positions)
+
+        if node.tag == _TAG_CLEAN_LEAF:
+            if layer != 0:
+                raise VerificationError("clean-leaf endpoint above layer 0")
+            if check_failed:
+                raise VerificationError(
+                    f"endpoint at height {start} claims a successful check "
+                    "but every checked bit position is set"
+                )
+            result.clean_ranges.append((start, start))
+            result.num_endpoints += 1
+            return leaf_hash(bf), bf
+
+        if node.tag == _TAG_CLEAN_INTERNAL:
+            if layer == 0:
+                raise VerificationError("internal endpoint at leaf layer")
+            if check_failed:
+                raise VerificationError(
+                    f"endpoint covering [{start},{start + span - 1}] claims "
+                    "a successful check but every checked bit position is set"
+                )
+            if node.child_hashes is None:
+                raise VerificationError("internal endpoint lacks child hashes")
+            result.clean_ranges.append((start, start + span - 1))
+            result.num_endpoints += 1
+            return node_hash(node.child_hashes[0], node.child_hashes[1], bf), bf
+
+        if node.tag == _TAG_FAILED_LEAF:
+            if layer != 0:
+                raise VerificationError("failed endpoint above layer 0")
+            if not first <= start <= last:
+                raise VerificationError(
+                    f"failed endpoint at height {start} lies outside the "
+                    f"queried range [{first},{last}] — it must be a stub"
+                )
+            if not check_failed:
+                raise VerificationError(
+                    f"endpoint at height {start} claims a failed check but "
+                    "some checked bit position is clear"
+                )
+            result.failed_heights.append(start)
+            result.num_endpoints += 1
+            return leaf_hash(bf), bf
+
+        raise VerificationError(f"unknown multiproof node tag {node.tag}")
+
+    # -- statistics --------------------------------------------------------
+
+    def num_endpoints(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.tag == _TAG_INTERNAL:
+                assert node.left is not None and node.right is not None
+                stack.extend((node.left, node.right))
+            elif node.tag not in (_TAG_STUB_LEAF, _TAG_STUB_INTERNAL):
+                count += 1
+        return count
+
+    def num_stubs(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.tag == _TAG_INTERNAL:
+                assert node.left is not None and node.right is not None
+                stack.extend((node.left, node.right))
+            elif node.tag in (_TAG_STUB_LEAF, _TAG_STUB_INTERNAL):
+                count += 1
+        return count
+
+    def failed_leaf_count(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.tag == _TAG_INTERNAL:
+                assert node.left is not None and node.right is not None
+                stack.extend((node.left, node.right))
+            elif node.tag == _TAG_FAILED_LEAF:
+                count += 1
+        return count
+
+    # -- serialization -----------------------------------------------------
+
+    def serialize(self) -> bytes:
+        parts: List[bytes] = []
+        self._serialize_node(self._root, parts)
+        return b"".join(parts)
+
+    @staticmethod
+    def _serialize_node(node: _ProofNode, parts: List[bytes]) -> None:
+        parts.append(bytes([node.tag]))
+        if node.tag == _TAG_INTERNAL:
+            assert node.left is not None and node.right is not None
+            BmtMultiProof._serialize_node(node.left, parts)
+            BmtMultiProof._serialize_node(node.right, parts)
+            return
+        assert node.bf is not None
+        if node.tag == _TAG_CLEAN_INTERNAL:
+            assert node.child_hashes is not None
+            parts.append(node.child_hashes[0])
+            parts.append(node.child_hashes[1])
+        elif node.tag == _TAG_STUB_INTERNAL:
+            assert node.stub_hash is not None
+            parts.append(node.stub_hash)
+        parts.append(node.bf.to_bytes())
+
+    @classmethod
+    def deserialize(
+        cls, reader: ByteReader, size_bits: int, num_hashes: int
+    ) -> "BmtMultiProof":
+        return cls(cls._deserialize_node(reader, size_bits, num_hashes, 0))
+
+    @classmethod
+    def _deserialize_node(
+        cls, reader: ByteReader, size_bits: int, num_hashes: int, depth: int
+    ) -> _ProofNode:
+        if depth > 64:
+            raise EncodingError("BMT multiproof nests implausibly deep")
+        tag = reader.bytes(1)[0]
+        if tag == _TAG_INTERNAL:
+            left = cls._deserialize_node(reader, size_bits, num_hashes, depth + 1)
+            right = cls._deserialize_node(reader, size_bits, num_hashes, depth + 1)
+            return _ProofNode(_TAG_INTERNAL, left=left, right=right)
+        child_hashes = None
+        stub_hash = None
+        if tag == _TAG_CLEAN_INTERNAL:
+            child_hashes = (reader.bytes(HASH_SIZE), reader.bytes(HASH_SIZE))
+        elif tag == _TAG_STUB_INTERNAL:
+            stub_hash = reader.bytes(HASH_SIZE)
+        elif tag not in (_TAG_CLEAN_LEAF, _TAG_FAILED_LEAF, _TAG_STUB_LEAF):
+            raise EncodingError(f"unknown BMT multiproof tag {tag}")
+        bf = BloomFilter.from_bytes(reader.bytes(size_bits // 8), num_hashes)
+        return _ProofNode(
+            tag, bf=bf, child_hashes=child_hashes, stub_hash=stub_hash
+        )
+
+    def size_bytes(self) -> int:
+        return len(self.serialize())
+
+
+class BmtBranch:
+    """Single-endpoint BMT branch (Fig 4/5); mostly pedagogical — queries
+    ship :class:`BmtMultiProof`, which merges all branches of a tree."""
+
+    __slots__ = ("bf", "layer", "index", "child_hashes", "siblings")
+
+    def __init__(
+        self,
+        bf: BloomFilter,
+        layer: int,
+        index: int,
+        child_hashes: Optional[Tuple[bytes, bytes]],
+        siblings: Sequence[Tuple[bytes, BloomFilter]],
+    ) -> None:
+        if layer == 0 and child_hashes is not None:
+            raise ProofError("leaf endpoints have no child hashes")
+        if layer > 0 and child_hashes is None:
+            raise ProofError("internal endpoints need their child hashes")
+        if index < 0 or index >> len(siblings):
+            raise ProofError(
+                f"endpoint index {index} does not fit above depth "
+                f"{len(siblings)}"
+            )
+        self.bf = bf
+        self.layer = layer
+        self.index = index
+        self.child_hashes = child_hashes
+        self.siblings = list(siblings)
+
+    def endpoint_hash(self) -> bytes:
+        if self.layer == 0:
+            return leaf_hash(self.bf)
+        assert self.child_hashes is not None
+        return node_hash(self.child_hashes[0], self.child_hashes[1], self.bf)
+
+    def compute_root(self) -> Tuple[bytes, BloomFilter]:
+        """Fold to the root; returns ``(root_hash, root_bf)``."""
+        current_hash = self.endpoint_hash()
+        current_bf = self.bf
+        index = self.index
+        for sibling_hash, sibling_bf in self.siblings:
+            merged = current_bf | sibling_bf
+            if index & 1:
+                current_hash = node_hash(sibling_hash, current_hash, merged)
+            else:
+                current_hash = node_hash(current_hash, sibling_hash, merged)
+            current_bf = merged
+            index >>= 1
+        return current_hash, current_bf
+
+    def verify_inexistence(
+        self, expected_root: bytes, item: bytes
+    ) -> Tuple[int, int]:
+        """Verify the branch and that the endpoint check succeeds for
+        ``item``; returns the covered ``(offset, span)`` relative to the
+        tree start: blocks ``start + offset .. start + offset + span - 1``.
+        """
+        root_hash, _root_bf = self.compute_root()
+        if root_hash != expected_root:
+            raise VerificationError("BMT branch root hash mismatch")
+        positions = bloom_positions(item, self.bf.num_hashes, self.bf.size_bits)
+        if self.bf.bits.covers_positions(positions):
+            raise VerificationError(
+                "BMT branch endpoint does not witness inexistence: every "
+                "checked bit position is set"
+            )
+        span = 1 << self.layer
+        return self.index * span, span
+
+    # -- serialization -----------------------------------------------------
+
+    def serialize(self) -> bytes:
+        parts = [
+            write_varint(self.layer),
+            write_varint(self.index),
+            self.bf.to_bytes(),
+        ]
+        if self.child_hashes is not None:
+            parts.extend(self.child_hashes)
+        parts.append(write_varint(len(self.siblings)))
+        for sibling_hash, sibling_bf in self.siblings:
+            parts.append(sibling_hash)
+            parts.append(sibling_bf.to_bytes())
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(
+        cls, reader: ByteReader, size_bits: int, num_hashes: int
+    ) -> "BmtBranch":
+        layer = reader.varint()
+        index = reader.varint()
+        bf = BloomFilter.from_bytes(reader.bytes(size_bits // 8), num_hashes)
+        child_hashes = None
+        if layer > 0:
+            child_hashes = (reader.bytes(HASH_SIZE), reader.bytes(HASH_SIZE))
+        count = reader.varint()
+        if count > 64:
+            raise EncodingError(f"implausible BMT branch depth {count}")
+        siblings = []
+        for _ in range(count):
+            sibling_hash = reader.bytes(HASH_SIZE)
+            sibling_bf = BloomFilter.from_bytes(
+                reader.bytes(size_bits // 8), num_hashes
+            )
+            siblings.append((sibling_hash, sibling_bf))
+        return cls(bf, layer, index, child_hashes, siblings)
+
+    def size_bytes(self) -> int:
+        return len(self.serialize())
+
+
+class BmtForest:
+    """Shared-subtree cache over a chain's per-block filters.
+
+    Merge sets produced by Algorithm 1 are aligned dyadic ranges, so the
+    BMT of a later block reuses the subtrees of earlier ones verbatim.
+    The forest memoizes every ``(start, end)`` node, making the cost of
+    indexing a whole segment O(M) tree nodes instead of O(M log M).
+    """
+
+    def __init__(self) -> None:
+        self._bfs: Dict[int, BloomFilter] = {}
+        self._nodes: Dict[Tuple[int, int], BmtNode] = {}
+
+    def add_block(self, height: int, bf: BloomFilter) -> None:
+        if height in self._bfs:
+            raise ValueError(f"height {height} already registered")
+        self._bfs[height] = bf
+
+    def block_filter(self, height: int) -> BloomFilter:
+        return self._bfs[height]
+
+    def node(self, start: int, end: int) -> BmtNode:
+        """The BMT node covering heights ``[start, end]`` (dyadic range)."""
+        key = (start, end)
+        cached = self._nodes.get(key)
+        if cached is not None:
+            return cached
+        count = end - start + 1
+        if count <= 0 or count & (count - 1):
+            raise ValueError(f"[{start},{end}] is not a power-of-two range")
+        if count == 1:
+            bf = self._bfs.get(start)
+            if bf is None:
+                raise ValueError(f"no Bloom filter registered for height {start}")
+            built = BmtNode(leaf_hash(bf), bf, 0, start, start)
+        else:
+            mid = start + count // 2
+            left = self.node(start, mid - 1)
+            right = self.node(mid, end)
+            merged = left.bf | right.bf
+            built = BmtNode(
+                node_hash(left.hash, right.hash, merged),
+                merged,
+                left.layer + 1,
+                start,
+                end,
+                left,
+                right,
+            )
+        self._nodes[key] = built
+        return built
+
+    def tree(self, start: int, end: int) -> BmtTree:
+        return BmtTree(self.node(start, end))

@@ -1,0 +1,169 @@
+"""Bitcoin-style Merkle tree and Merkle branches (paper §II-A).
+
+Transactions in a block are hashed into a binary tree whose root lives in
+the block header.  A :class:`MerkleBranch` (the paper's "MBr") proves that
+one transaction is committed by the root — the *correctness* half of the
+verifiable-query problem.  As the paper stresses, an MBr can never prove
+*inexistence*; that is what the SMT and BMT exist for.
+
+The construction follows Bitcoin: ``sha256d`` everywhere and odd levels
+duplicate their last node.  The branch carries the leaf index so the
+verifier can fold siblings on the correct side, and so two branches for
+the same root can be shown to refer to *distinct* leaves (needed when the
+SMT says an address appears ``c`` times and the prover must exhibit ``c``
+different transactions).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.crypto.encoding import ByteReader, write_varint
+from repro.crypto.hashing import HASH_SIZE, sha256d
+from repro.errors import EncodingError, ProofError
+
+
+def _combine(left: bytes, right: bytes) -> bytes:
+    return sha256d(left + right)
+
+
+class MerkleBranch:
+    """An authentication path from one leaf to the Merkle root."""
+
+    __slots__ = ("leaf_hash", "leaf_index", "siblings")
+
+    def __init__(
+        self, leaf_hash: bytes, leaf_index: int, siblings: Sequence[bytes]
+    ) -> None:
+        if len(leaf_hash) != HASH_SIZE:
+            raise ProofError(f"leaf hash must be {HASH_SIZE} bytes")
+        if leaf_index < 0:
+            raise ProofError(f"negative leaf index {leaf_index}")
+        for sibling in siblings:
+            if len(sibling) != HASH_SIZE:
+                raise ProofError(f"sibling hash must be {HASH_SIZE} bytes")
+        if leaf_index >> len(siblings):
+            raise ProofError(
+                f"leaf index {leaf_index} does not fit in depth {len(siblings)}"
+            )
+        self.leaf_hash = leaf_hash
+        self.leaf_index = leaf_index
+        self.siblings = list(siblings)
+
+    @property
+    def depth(self) -> int:
+        return len(self.siblings)
+
+    def compute_root(self) -> bytes:
+        """Fold the branch upward and return the implied root."""
+        node = self.leaf_hash
+        index = self.leaf_index
+        for sibling in self.siblings:
+            if index & 1:
+                node = _combine(sibling, node)
+            else:
+                node = _combine(node, sibling)
+            index >>= 1
+        return node
+
+    def verify(self, root: bytes) -> bool:
+        """True iff the branch authenticates ``leaf_hash`` under ``root``."""
+        return self.compute_root() == root
+
+    # -- serialization -----------------------------------------------------
+
+    def serialize(self) -> bytes:
+        parts = [
+            self.leaf_hash,
+            write_varint(self.leaf_index),
+            write_varint(len(self.siblings)),
+        ]
+        parts.extend(self.siblings)
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, reader: ByteReader) -> "MerkleBranch":
+        leaf_hash = reader.bytes(HASH_SIZE)
+        leaf_index = reader.varint()
+        count = reader.varint()
+        if count > 64:
+            raise EncodingError(f"implausible branch depth {count}")
+        siblings = [reader.bytes(HASH_SIZE) for _ in range(count)]
+        return cls(leaf_hash, leaf_index, siblings)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "MerkleBranch":
+        reader = ByteReader(payload)
+        branch = cls.deserialize(reader)
+        reader.finish()
+        return branch
+
+    def size_bytes(self) -> int:
+        return len(self.serialize())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MerkleBranch):
+            return NotImplemented
+        return (
+            self.leaf_hash == other.leaf_hash
+            and self.leaf_index == other.leaf_index
+            and self.siblings == other.siblings
+        )
+
+    def __repr__(self) -> str:
+        return f"MerkleBranch(index={self.leaf_index}, depth={self.depth})"
+
+
+class MerkleTree:
+    """Full Merkle tree over a list of leaf hashes (e.g. txids)."""
+
+    def __init__(self, leaf_hashes: Sequence[bytes]) -> None:
+        if not leaf_hashes:
+            raise ValueError("Merkle tree needs at least one leaf")
+        for leaf in leaf_hashes:
+            if len(leaf) != HASH_SIZE:
+                raise ValueError(f"leaf hashes must be {HASH_SIZE} bytes")
+        self._levels: List[List[bytes]] = [list(leaf_hashes)]
+        level = self._levels[0]
+        while len(level) > 1:
+            if len(level) & 1:
+                level = level + [level[-1]]  # Bitcoin's duplicate-last rule
+            parent = [
+                _combine(level[i], level[i + 1]) for i in range(0, len(level), 2)
+            ]
+            self._levels.append(parent)
+            level = parent
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self._levels[0])
+
+    @property
+    def depth(self) -> int:
+        return len(self._levels) - 1
+
+    def leaf(self, index: int) -> bytes:
+        return self._levels[0][index]
+
+    def branch(self, leaf_index: int) -> MerkleBranch:
+        """Authentication path for the leaf at ``leaf_index``."""
+        if not 0 <= leaf_index < self.num_leaves:
+            raise IndexError(
+                f"leaf index {leaf_index} out of range [0, {self.num_leaves})"
+            )
+        siblings: List[bytes] = []
+        index = leaf_index
+        for level in self._levels[:-1]:
+            sibling_index = index ^ 1
+            if sibling_index >= len(level):
+                sibling_index = index  # duplicated last node
+            siblings.append(level[sibling_index])
+            index >>= 1
+        return MerkleBranch(self._levels[0][leaf_index], leaf_index, siblings)
+
+    def __repr__(self) -> str:
+        return f"MerkleTree(leaves={self.num_leaves}, depth={self.depth})"

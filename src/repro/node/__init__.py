@@ -1,0 +1,18 @@
+"""Simulated full/light nodes and the byte-counting transport between them."""
+
+from repro.node.messages import QueryRequest, QueryResponse, HeadersRequest, HeadersResponse
+from repro.node.transport import InProcessTransport, LinkModel, TransportStats
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+
+__all__ = [
+    "QueryRequest",
+    "QueryResponse",
+    "HeadersRequest",
+    "HeadersResponse",
+    "InProcessTransport",
+    "LinkModel",
+    "TransportStats",
+    "FullNode",
+    "LightNode",
+]

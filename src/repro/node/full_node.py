@@ -1,0 +1,103 @@
+"""The full node: stores complete blocks, serves verifiable queries (§II).
+
+A :class:`FullNode` wraps a :class:`BuiltSystem` (chain plus indexes) and
+answers the two RPCs of the protocol: header sync and history queries.
+The honest implementation simply delegates to :func:`answer_query`; the
+security tests subclass/wrap it with adversarial behaviours from
+:mod:`repro.query.adversary`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.node.messages import (
+    HeadersRequest,
+    HeadersResponse,
+    QueryRequest,
+    QueryResponse,
+)
+from repro.query.builder import BuiltSystem
+from repro.query.prover import answer_query
+from repro.query.result import QueryResult
+
+
+class FullNode:
+    """Serves headers and verifiable history queries from a built chain."""
+
+    def __init__(self, system: BuiltSystem) -> None:
+        self.system = system
+
+    @property
+    def tip_height(self) -> int:
+        return self.system.tip_height
+
+    # -- local API -----------------------------------------------------------
+
+    def query(
+        self,
+        address: str,
+        first_height: int = 1,
+        last_height: "int | None" = None,
+    ) -> QueryResult:
+        """Full proof-bearing answer for ``address`` (the paper's §V)."""
+        return self.answer(address, first_height, last_height)
+
+    def answer(
+        self,
+        address: str,
+        first_height: int = 1,
+        last_height: "int | None" = None,
+    ) -> QueryResult:
+        """Hook point: adversarial full nodes override this one method."""
+        return answer_query(self.system, address, first_height, last_height)
+
+    # -- RPC handlers ----------------------------------------------------------
+
+    def handle_query(self, payload: bytes) -> bytes:
+        request = QueryRequest.deserialize(payload)
+        if not request.address:
+            raise QueryError("empty address in query request")
+        last = request.last_height if request.last_height else None
+        response = QueryResponse(
+            self.answer(request.address, request.first_height, last)
+        )
+        return response.serialize(self.system.config)
+
+    def handle_batch_query(self, payload: bytes) -> bytes:
+        from repro.node.messages import BatchQueryRequest, BatchQueryResponse
+
+        request = BatchQueryRequest.deserialize(payload)
+        last = request.last_height if request.last_height else None
+        batch = self.answer_batch(request.addresses, request.first_height, last)
+        return BatchQueryResponse(batch).serialize(self.system.config)
+
+    def answer_batch(
+        self,
+        addresses,
+        first_height: int = 1,
+        last_height: "int | None" = None,
+    ):
+        """Hook point for adversarial batch behaviour."""
+        from repro.query.batch import answer_batch_query
+
+        return answer_batch_query(
+            self.system, addresses, first_height, last_height
+        )
+
+    def handle_headers(self, payload: bytes) -> bytes:
+        request = HeadersRequest.deserialize(payload)
+        headers = self.system.headers()
+        if request.from_height > self.tip_height + 1:
+            raise QueryError(
+                f"no headers from height {request.from_height}; tip is "
+                f"{self.tip_height}"
+            )
+        response = HeadersResponse(
+            request.from_height, headers[request.from_height :]
+        )
+        return response.serialize()
+
+    def extend_chain(self, bodies) -> None:
+        """Append new blocks (each a transaction list) to the chain."""
+        for transactions in bodies:
+            self.system.append_block(transactions)

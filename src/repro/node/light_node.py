@@ -1,0 +1,291 @@
+"""The light node: headers only, trusts nothing it did not verify (§II).
+
+A :class:`LightNode` holds the header list and the chain's
+:class:`SystemConfig`.  Its ``query_history`` issues the RPC through the
+byte-counting transport, deserializes the response, runs the full §V
+verification, and only then exposes transactions and Equation-1 balances.
+A malicious full node makes ``query_history`` raise — it can never make
+it return a wrong history (that is the security claim the tests attack).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.chain.block import BlockHeader
+from repro.chain.blockchain import header_storage_bytes
+from repro.errors import NoHonestPeerError, ReproError, VerificationError
+from repro.node.full_node import FullNode
+from repro.node.messages import QueryRequest, QueryResponse
+from repro.node.transport import InProcessTransport
+from repro.query.config import SystemConfig
+from repro.query.verifier import VerifiedHistory, verify_result
+
+
+class LightNode:
+    """Header-only client of the verifiable-query protocol."""
+
+    def __init__(
+        self, headers: Sequence[BlockHeader], config: SystemConfig
+    ) -> None:
+        self.headers: List[BlockHeader] = list(headers)
+        self.config = config
+
+    @classmethod
+    def from_full_node(cls, full_node: FullNode) -> "LightNode":
+        """Bootstrap by syncing every header from a full node."""
+        return cls(full_node.system.headers(), full_node.system.config)
+
+    @property
+    def tip_height(self) -> int:
+        return len(self.headers) - 1
+
+    def storage_bytes(self) -> int:
+        """The Challenge-1 metric: bytes this node must persist."""
+        return header_storage_bytes(self.headers)
+
+    # -- header sync ---------------------------------------------------------
+
+    def sync_headers(
+        self,
+        full_node: FullNode,
+        transport: "Optional[InProcessTransport]" = None,
+    ) -> int:
+        """Fetch headers beyond the local tip, validate linkage, append.
+
+        Returns the number of headers accepted.  Raises
+        :class:`VerificationError` if the served headers do not link onto
+        the local chain — a full node cannot splice in a divergent
+        history during sync.
+        """
+        from repro.node.messages import HeadersRequest, HeadersResponse
+
+        if transport is None:
+            transport = InProcessTransport()
+        from_height = self.tip_height + 1
+        request_bytes = transport.send_to_server(
+            HeadersRequest(from_height).serialize()
+        )
+        response_bytes = transport.send_to_client(
+            full_node.handle_headers(request_bytes)
+        )
+        response = HeadersResponse.deserialize(
+            response_bytes,
+            self.config.header_extension_kind,
+            self.config.header_bloom_bytes,
+        )
+        if response.from_height != from_height:
+            raise VerificationError(
+                f"asked for headers from {from_height}, got "
+                f"{response.from_height}"
+            )
+        previous_id = self.headers[-1].block_id()
+        for offset, header in enumerate(response.headers):
+            if header.prev_hash != previous_id:
+                raise VerificationError(
+                    f"header at height {from_height + offset} does not "
+                    "link onto the local chain"
+                )
+            previous_id = header.block_id()
+        self.headers.extend(response.headers)
+        return len(response.headers)
+
+    # -- querying ----------------------------------------------------------
+
+    def query_history(
+        self,
+        full_node: FullNode,
+        address: str,
+        transport: Optional[InProcessTransport] = None,
+        first_height: int = 1,
+        last_height: Optional[int] = None,
+    ) -> VerifiedHistory:
+        """Request, receive, and *verify* the history of ``address``.
+
+        ``first_height``/``last_height`` restrict the query to a height
+        range (the range-query extension); by default the whole chain is
+        covered.  Raises :class:`VerificationError` (or a subclass) if
+        the full node's answer is incorrect or incomplete in any way.
+        """
+        if transport is None:
+            transport = InProcessTransport()
+        request_bytes = transport.send_to_server(
+            QueryRequest(address, first_height, last_height or 0).serialize()
+        )
+        response_bytes = transport.send_to_client(
+            full_node.handle_query(request_bytes)
+        )
+        response = QueryResponse.deserialize(response_bytes, self.config)
+        expected_range = (
+            first_height,
+            last_height if last_height is not None else self.tip_height,
+        )
+        return self.verify(response.result, address, expected_range)
+
+    def verify(
+        self,
+        result,
+        address: str,
+        expected_range: "Optional[Tuple[int, int]]" = None,
+    ) -> VerifiedHistory:
+        """Verify an already-received result against local headers."""
+        return verify_result(
+            result, self.headers, self.config, address, expected_range
+        )
+
+    def sync_with_reorg(
+        self,
+        full_node: FullNode,
+        transport: "Optional[InProcessTransport]" = None,
+    ) -> "Tuple[int, int]":
+        """Sync headers, switching to the peer's fork when it is longer.
+
+        Returns ``(replaced, appended)``.  The adoption rule is
+        longest-chain with height as the work proxy (this simulation has
+        no proof-of-work; see DESIGN.md).  The peer's chain must share
+        our genesis and be internally linked, otherwise nothing changes
+        and :class:`VerificationError` is raised.  A peer offering a
+        fork *shorter or equal* to ours is refused (no replacement
+        without more work).
+        """
+        from repro.errors import QueryError
+        from repro.node.messages import HeadersRequest, HeadersResponse
+
+        try:
+            return 0, self.sync_headers(full_node, transport)
+        except (VerificationError, QueryError):
+            # Divergent chain, or the peer does not even have our heights
+            # (it may be on a shorter fork): fall through to comparison.
+            pass
+
+        if transport is None:
+            transport = InProcessTransport()
+        request_bytes = transport.send_to_server(
+            HeadersRequest(0).serialize()
+        )
+        response_bytes = transport.send_to_client(
+            full_node.handle_headers(request_bytes)
+        )
+        response = HeadersResponse.deserialize(
+            response_bytes,
+            self.config.header_extension_kind,
+            self.config.header_bloom_bytes,
+        )
+        remote = response.headers
+        if len(remote) <= len(self.headers):
+            raise VerificationError(
+                "peer's divergent chain is not longer than ours; refusing "
+                "the reorg"
+            )
+        if not remote or remote[0].block_id() != self.headers[0].block_id():
+            raise VerificationError("peer chain has a different genesis")
+        previous_id = remote[0].block_id()
+        for height, header in enumerate(remote[1:], start=1):
+            if header.prev_hash != previous_id:
+                raise VerificationError(
+                    f"peer chain breaks linkage at height {height}"
+                )
+            previous_id = header.block_id()
+
+        fork_height = 0
+        limit = min(len(remote), len(self.headers))
+        while (
+            fork_height + 1 < limit
+            and remote[fork_height + 1].block_id()
+            == self.headers[fork_height + 1].block_id()
+        ):
+            fork_height += 1
+        replaced = len(self.headers) - (fork_height + 1)
+        appended = len(remote) - (fork_height + 1)
+        self.headers = list(remote)
+        return replaced, appended
+
+    def query_history_any(
+        self,
+        full_nodes: "Sequence[FullNode]",
+        address: str,
+        first_height: int = 1,
+        last_height: Optional[int] = None,
+    ) -> VerifiedHistory:
+        """Query several peers; accept the first verifiable answer.
+
+        The security model makes this sound with a single honest peer
+        among arbitrarily many malicious ones: an answer either verifies
+        (and is then the unique complete history — two verifiable answers
+        cannot disagree) or is rejected.  Raises
+        :class:`NoHonestPeerError` carrying every peer's rejection reason
+        when *all* answers fail.
+        """
+        if not full_nodes:
+            raise VerificationError("no peers to query")
+        reasons: "dict[str, Exception]" = {}
+        for index, full_node in enumerate(full_nodes):
+            label = f"peer{index}"
+            try:
+                return self.query_history(
+                    full_node,
+                    address,
+                    first_height=first_height,
+                    last_height=last_height,
+                )
+            except ReproError as error:
+                reasons[label] = error
+        raise NoHonestPeerError(reasons)
+
+    def query_batch(
+        self,
+        full_node: FullNode,
+        addresses: "Sequence[str]",
+        transport: Optional[InProcessTransport] = None,
+        first_height: int = 1,
+        last_height: Optional[int] = None,
+    ) -> "dict[str, VerifiedHistory]":
+        """Request and verify histories for several addresses at once.
+
+        On strawman-family systems the per-block filters ship once for
+        the whole batch — the amortization measured by
+        ``bench_ablation_batch.py``.
+        """
+        from repro.node.messages import BatchQueryRequest, BatchQueryResponse
+        from repro.query.batch import verify_batch_result
+
+        if transport is None:
+            transport = InProcessTransport()
+        request_bytes = transport.send_to_server(
+            BatchQueryRequest(
+                list(addresses), first_height, last_height or 0
+            ).serialize()
+        )
+        response_bytes = transport.send_to_client(
+            full_node.handle_batch_query(request_bytes)
+        )
+        response = BatchQueryResponse.deserialize(response_bytes, self.config)
+        expected_range = (
+            first_height,
+            last_height if last_height is not None else self.tip_height,
+        )
+        return verify_batch_result(
+            response.batch,
+            self.headers,
+            self.config,
+            list(addresses),
+            expected_range,
+        )
+
+    def query_balance(
+        self,
+        full_node: FullNode,
+        address: str,
+        transport: Optional[InProcessTransport] = None,
+    ) -> int:
+        """Verified Equation-1 balance (the paper's coffee-shop scenario)."""
+        return self.query_history(full_node, address, transport).balance()
+
+    def __repr__(self) -> str:
+        return (
+            f"LightNode(tip={self.tip_height}, "
+            f"system={self.config.kind.value})"
+        )
+
+
+__all__ = ["LightNode", "VerificationError"]

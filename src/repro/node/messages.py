@@ -1,0 +1,238 @@
+"""Wire messages of the simulated RPC protocol.
+
+The paper runs its query over an RPC link between a light-node client and
+a full-node server; the communication cost it reports is the size of the
+response.  These message classes give that cost a concrete wire form: a
+one-byte type tag plus a length-exact payload.  The transport layer counts
+``len(message.serialize())`` per direction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.chain.block import BlockHeader
+from repro.crypto.encoding import ByteReader, write_var_bytes, write_varint
+from repro.errors import EncodingError
+from repro.query.config import SystemConfig
+from repro.query.result import QueryResult
+
+_MSG_QUERY_REQUEST = 1
+_MSG_QUERY_RESPONSE = 2
+_MSG_HEADERS_REQUEST = 3
+_MSG_HEADERS_RESPONSE = 4
+_MSG_BATCH_REQUEST = 5
+_MSG_BATCH_RESPONSE = 6
+
+
+class QueryRequest:
+    """Light → full: "send me the verifiable history of this address".
+
+    ``first_height``/``last_height`` optionally restrict the query to a
+    height range; ``last_height = 0`` means "up to your tip" (the client
+    cross-checks the answered range against its own headers).
+    """
+
+    __slots__ = ("address", "first_height", "last_height")
+
+    type_tag = _MSG_QUERY_REQUEST
+
+    def __init__(
+        self, address: str, first_height: int = 1, last_height: int = 0
+    ) -> None:
+        if first_height < 1 or last_height < 0:
+            raise EncodingError(
+                f"bad query range [{first_height},{last_height}]"
+            )
+        self.address = address
+        self.first_height = first_height
+        self.last_height = last_height
+
+    def serialize(self) -> bytes:
+        return (
+            bytes([self.type_tag])
+            + write_var_bytes(self.address.encode("utf-8"))
+            + write_varint(self.first_height)
+            + write_varint(self.last_height)
+        )
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "QueryRequest":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        address = _utf8(reader.var_bytes())
+        first_height = reader.varint()
+        last_height = reader.varint()
+        reader.finish()
+        return cls(address, first_height, last_height)
+
+
+class QueryResponse:
+    """Full → light: the complete :class:`QueryResult`."""
+
+    __slots__ = ("result",)
+
+    type_tag = _MSG_QUERY_RESPONSE
+
+    def __init__(self, result: QueryResult) -> None:
+        self.result = result
+
+    def serialize(self, config: SystemConfig) -> bytes:
+        return bytes([self.type_tag]) + self.result.serialize(config)
+
+    @classmethod
+    def deserialize(cls, payload: bytes, config: SystemConfig) -> "QueryResponse":
+        if not payload or payload[0] != cls.type_tag:
+            raise EncodingError("not a query response")
+        return cls(QueryResult.deserialize(payload[1:], config))
+
+
+class BatchQueryRequest:
+    """Light → full: verifiable histories for several addresses at once."""
+
+    __slots__ = ("addresses", "first_height", "last_height")
+
+    type_tag = _MSG_BATCH_REQUEST
+
+    def __init__(
+        self,
+        addresses: "List[str]",
+        first_height: int = 1,
+        last_height: int = 0,
+    ) -> None:
+        if not addresses:
+            raise EncodingError("batch request needs at least one address")
+        if first_height < 1 or last_height < 0:
+            raise EncodingError(
+                f"bad query range [{first_height},{last_height}]"
+            )
+        self.addresses = addresses
+        self.first_height = first_height
+        self.last_height = last_height
+
+    def serialize(self) -> bytes:
+        parts = [bytes([self.type_tag]), write_varint(len(self.addresses))]
+        parts.extend(
+            write_var_bytes(address.encode("utf-8"))
+            for address in self.addresses
+        )
+        parts.append(write_varint(self.first_height))
+        parts.append(write_varint(self.last_height))
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "BatchQueryRequest":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        count = reader.varint()
+        if count == 0 or count > 10_000:
+            raise EncodingError(f"implausible batch size {count}")
+        addresses = [_utf8(reader.var_bytes()) for _ in range(count)]
+        first_height = reader.varint()
+        last_height = reader.varint()
+        reader.finish()
+        return cls(addresses, first_height, last_height)
+
+
+class BatchQueryResponse:
+    """Full → light: one :class:`BatchQueryResult` for the whole request."""
+
+    __slots__ = ("batch",)
+
+    type_tag = _MSG_BATCH_RESPONSE
+
+    def __init__(self, batch) -> None:
+        self.batch = batch
+
+    def serialize(self, config: SystemConfig) -> bytes:
+        return bytes([self.type_tag]) + self.batch.serialize(config)
+
+    @classmethod
+    def deserialize(
+        cls, payload: bytes, config: SystemConfig
+    ) -> "BatchQueryResponse":
+        from repro.query.batch import BatchQueryResult
+
+        if not payload or payload[0] != cls.type_tag:
+            raise EncodingError("not a batch query response")
+        return cls(BatchQueryResult.deserialize(payload[1:], config))
+
+
+class HeadersRequest:
+    """Light → full: "send headers from this height on" (initial sync)."""
+
+    __slots__ = ("from_height",)
+
+    type_tag = _MSG_HEADERS_REQUEST
+
+    def __init__(self, from_height: int = 0) -> None:
+        if from_height < 0:
+            raise EncodingError(f"negative height {from_height}")
+        self.from_height = from_height
+
+    def serialize(self) -> bytes:
+        return bytes([self.type_tag]) + write_varint(self.from_height)
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "HeadersRequest":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        from_height = reader.varint()
+        reader.finish()
+        return cls(from_height)
+
+
+class HeadersResponse:
+    """Full → light: consecutive headers (the light node's whole storage)."""
+
+    __slots__ = ("from_height", "headers")
+
+    type_tag = _MSG_HEADERS_RESPONSE
+
+    def __init__(self, from_height: int, headers: List[BlockHeader]) -> None:
+        self.from_height = from_height
+        self.headers = headers
+
+    def serialize(self) -> bytes:
+        parts = [
+            bytes([self.type_tag]),
+            write_varint(self.from_height),
+            write_varint(len(self.headers)),
+        ]
+        parts.extend(
+            write_var_bytes(header.serialize()) for header in self.headers
+        )
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(
+        cls, payload: bytes, extension_kind: int, bloom_bytes: int = 0
+    ) -> "HeadersResponse":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        from_height = reader.varint()
+        count = reader.varint()
+        if count > 100_000_000:
+            raise EncodingError(f"implausible header count {count}")
+        headers = []
+        for _ in range(count):
+            header_reader = ByteReader(reader.var_bytes())
+            headers.append(
+                BlockHeader.deserialize(header_reader, extension_kind, bloom_bytes)
+            )
+            header_reader.finish()
+        reader.finish()
+        return cls(from_height, headers)
+
+
+def _expect_tag(reader: ByteReader, tag: int) -> None:
+    actual = reader.bytes(1)[0]
+    if actual != tag:
+        raise EncodingError(f"expected message tag {tag}, got {actual}")
+
+
+def _utf8(raw: bytes) -> str:
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise EncodingError(f"not UTF-8: {exc}") from exc

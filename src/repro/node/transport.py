@@ -1,0 +1,123 @@
+"""In-process transport with exact byte accounting.
+
+The paper's experiments measure network overhead as the size of the query
+result.  :class:`InProcessTransport` models the RPC link as a pair of
+counted pipes: every message that crosses it adds ``len(payload)`` to the
+direction's counter, so experiments read real serialized sizes rather
+than estimates.  A configurable byte budget lets failure-injection tests
+simulate a link that dies mid-query.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TransportError
+
+
+class TransportStats:
+    """Bytes and messages per direction."""
+
+    __slots__ = (
+        "bytes_to_server",
+        "bytes_to_client",
+        "messages_to_server",
+        "messages_to_client",
+    )
+
+    def __init__(self) -> None:
+        self.bytes_to_server = 0
+        self.bytes_to_client = 0
+        self.messages_to_server = 0
+        self.messages_to_client = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_to_server + self.bytes_to_client
+
+    def __repr__(self) -> str:
+        return (
+            f"TransportStats(→server {self.bytes_to_server}B/"
+            f"{self.messages_to_server}msg, →client {self.bytes_to_client}B/"
+            f"{self.messages_to_client}msg)"
+        )
+
+
+class LinkModel:
+    """A simple network model turning byte counts into latency estimates.
+
+    The paper reports only result *sizes*; this model converts them into
+    wall-clock transfer estimates for a parameterized link:
+    ``latency = rtt * round_trips + bytes / bandwidth``.
+    """
+
+    __slots__ = ("bandwidth_bps", "rtt_seconds")
+
+    def __init__(self, bandwidth_bps: float, rtt_seconds: float) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if rtt_seconds < 0:
+            raise ValueError(f"rtt cannot be negative, got {rtt_seconds}")
+        self.bandwidth_bps = bandwidth_bps
+        self.rtt_seconds = rtt_seconds
+
+    @classmethod
+    def home_broadband(cls) -> "LinkModel":
+        """50 Mbit/s down, 30 ms RTT — a phone-class light node."""
+        return cls(bandwidth_bps=50e6 / 8, rtt_seconds=0.030)
+
+    @classmethod
+    def mobile_3g(cls) -> "LinkModel":
+        """2 Mbit/s, 120 ms RTT — the pessimistic SPV scenario."""
+        return cls(bandwidth_bps=2e6 / 8, rtt_seconds=0.120)
+
+    def transfer_seconds(self, num_bytes: int, round_trips: int = 1) -> float:
+        if num_bytes < 0 or round_trips < 0:
+            raise ValueError("bytes and round trips must be non-negative")
+        return self.rtt_seconds * round_trips + num_bytes / self.bandwidth_bps
+
+    def estimated_latency(self, stats: "TransportStats") -> float:
+        """Estimated wall-clock time for everything ``stats`` recorded,
+        assuming one round trip per request/response pair."""
+        round_trips = max(stats.messages_to_server, stats.messages_to_client)
+        return self.transfer_seconds(stats.total_bytes, round_trips)
+
+
+class InProcessTransport:
+    """A counted, optionally budgeted, request/response pipe."""
+
+    def __init__(self, byte_budget: Optional[int] = None) -> None:
+        self.stats = TransportStats()
+        self._byte_budget = byte_budget
+        self._closed = False
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def _charge(self, size: int) -> None:
+        if self._closed:
+            raise TransportError("transport is closed")
+        if self._byte_budget is not None:
+            if self.stats.total_bytes + size > self._byte_budget:
+                self._closed = True
+                raise TransportError(
+                    f"byte budget {self._byte_budget} exhausted mid-transfer"
+                )
+
+    def send_to_server(self, payload: bytes) -> bytes:
+        """Client-side send; returns the payload as the server receives it."""
+        self._charge(len(payload))
+        self.stats.bytes_to_server += len(payload)
+        self.stats.messages_to_server += 1
+        return payload
+
+    def send_to_client(self, payload: bytes) -> bytes:
+        """Server-side send; returns the payload as the client receives it."""
+        self._charge(len(payload))
+        self.stats.bytes_to_client += len(payload)
+        self.stats.messages_to_client += 1
+        return payload

@@ -1,0 +1,429 @@
+"""Batch queries: one verifiable answer for several addresses.
+
+On the hash-committed non-BMT systems (strawman, LVQ-no-BMT) the
+dominant cost is shipping every block's filter; a batch ships each
+filter **once** and shares it across all queried addresses, so the
+marginal cost of an extra address is just its resolutions.  On BMT
+systems each address needs its own multiproof (its checked bit positions
+differ), so a batch is the concatenation of per-address segment proofs —
+still one message, no filter sharing to exploit.
+
+Verification amortizes the same way: each shared filter is matched
+against its header commitment once, then every address's Eq-4 logic runs
+against the already-authenticated filter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bloom.filter import BloomFilter
+from repro.chain.address import address_item
+from repro.chain.block import BlockHeader
+from repro.crypto.encoding import ByteReader, write_var_bytes, write_varint
+from repro.errors import (
+    CompletenessError,
+    EncodingError,
+    ProofError,
+    QueryError,
+    VerificationError,
+)
+from repro.query.builder import BuiltSystem
+from repro.query.config import SystemConfig, bf_commitment
+from repro.query.fragments import SegmentProof, _serialize_resolution
+from repro.query.prover import _resolve_block, answer_query
+from repro.query.result import QueryResult
+from repro.query.verifier import (
+    VerifiedHistory,
+    _verify_resolution,
+    verify_result,
+)
+
+_ANSWER_EMPTY = 0xFF
+
+
+class BatchQueryResult:
+    """Wire answer for a multi-address query."""
+
+    __slots__ = (
+        "kind",
+        "addresses",
+        "tip_height",
+        "first_height",
+        "last_height",
+        "shared_filters",
+        "per_address_answers",
+        "per_address_segments",
+    )
+
+    def __init__(
+        self,
+        kind,
+        addresses: List[str],
+        tip_height: int,
+        first_height: int,
+        last_height: int,
+        shared_filters: Optional[List[BloomFilter]] = None,
+        per_address_answers: Optional[List[List[object]]] = None,
+        per_address_segments: Optional[List[List[SegmentProof]]] = None,
+    ) -> None:
+        if not addresses:
+            raise ProofError("batch query needs at least one address")
+        if len(set(addresses)) != len(addresses):
+            raise ProofError("batch addresses must be distinct")
+        if (per_address_answers is None) == (per_address_segments is None):
+            raise ProofError(
+                "a batch carries either per-block answers or segment proofs"
+            )
+        if not 1 <= first_height <= last_height <= tip_height:
+            raise ProofError(
+                f"bad query range [{first_height},{last_height}] for tip "
+                f"{tip_height}"
+            )
+        self.kind = kind
+        self.addresses = addresses
+        self.tip_height = tip_height
+        self.first_height = first_height
+        self.last_height = last_height
+        self.shared_filters = shared_filters
+        self.per_address_answers = per_address_answers
+        self.per_address_segments = per_address_segments
+
+    @property
+    def num_blocks(self) -> int:
+        return self.last_height - self.first_height + 1
+
+    # -- serialization -----------------------------------------------------
+
+    def serialize(self, config: SystemConfig) -> bytes:
+        parts = [write_varint(len(self.addresses))]
+        parts.extend(
+            write_var_bytes(address.encode("utf-8"))
+            for address in self.addresses
+        )
+        parts.append(write_varint(self.tip_height))
+        parts.append(write_varint(self.first_height))
+        parts.append(write_varint(self.last_height))
+        if config.uses_bmt:
+            assert self.per_address_segments is not None
+            for segments in self.per_address_segments:
+                parts.append(write_varint(len(segments)))
+                parts.extend(segment.serialize() for segment in segments)
+            return b"".join(parts)
+
+        assert self.per_address_answers is not None
+        if config.ships_block_filters:
+            if self.shared_filters is None or len(self.shared_filters) != (
+                self.num_blocks
+            ):
+                raise ProofError("batch must ship one filter per block")
+            parts.extend(bf.to_bytes() for bf in self.shared_filters)
+        for answers in self.per_address_answers:
+            for resolution in answers:
+                if resolution is None:
+                    parts.append(bytes([_ANSWER_EMPTY]))
+                else:
+                    parts.append(_serialize_resolution(resolution))
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(
+        cls, payload: bytes, config: SystemConfig
+    ) -> "BatchQueryResult":
+        reader = ByteReader(payload)
+        count = reader.varint()
+        if count == 0 or count > 10_000:
+            raise EncodingError(f"implausible batch address count {count}")
+        addresses = []
+        for _ in range(count):
+            try:
+                addresses.append(reader.var_bytes().decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise EncodingError(f"batch address not UTF-8: {exc}") from exc
+        tip_height = reader.varint()
+        first_height = reader.varint()
+        last_height = reader.varint()
+        if not 1 <= first_height <= last_height <= tip_height:
+            raise EncodingError(
+                f"bad batch range [{first_height},{last_height}]"
+            )
+        num_blocks = last_height - first_height + 1
+
+        if config.uses_bmt:
+            per_address_segments = []
+            for _ in range(count):
+                segment_count = reader.varint()
+                if segment_count > num_blocks:
+                    raise EncodingError("more segments than blocks")
+                per_address_segments.append(
+                    [
+                        SegmentProof.deserialize(reader, config)
+                        for _ in range(segment_count)
+                    ]
+                )
+            reader.finish()
+            return cls(
+                config.kind,
+                addresses,
+                tip_height,
+                first_height,
+                last_height,
+                per_address_segments=per_address_segments,
+            )
+
+        shared_filters = None
+        if config.ships_block_filters:
+            shared_filters = [
+                BloomFilter.from_bytes(
+                    reader.bytes(config.bf_bytes), config.num_hashes
+                )
+                for _ in range(num_blocks)
+            ]
+        per_address_answers: List[List[object]] = []
+        for _ in range(count):
+            answers: List[object] = []
+            for _height in range(num_blocks):
+                tag = reader.bytes(1)[0]
+                if tag == _ANSWER_EMPTY:
+                    answers.append(None)
+                else:
+                    # Re-wind one byte by dispatching on the tag directly.
+                    answers.append(_deserialize_resolution_from_tag(tag, reader))
+            per_address_answers.append(answers)
+        reader.finish()
+        return cls(
+            config.kind,
+            addresses,
+            tip_height,
+            first_height,
+            last_height,
+            shared_filters=shared_filters,
+            per_address_answers=per_address_answers,
+        )
+
+    def size_bytes(self, config: SystemConfig) -> int:
+        return len(self.serialize(config))
+
+
+def _deserialize_resolution_from_tag(tag: int, reader: ByteReader):
+    from repro.query.fragments import _RESOLUTION_BY_TAG
+
+    cls = _RESOLUTION_BY_TAG.get(tag)
+    if cls is None:
+        raise EncodingError(f"unknown batch resolution tag {tag}")
+    return cls.deserialize(reader)
+
+
+# ---------------------------------------------------------------------------
+# prover side
+
+
+def answer_batch_query(
+    system: BuiltSystem,
+    addresses: Sequence[str],
+    first_height: int = 1,
+    last_height: "int | None" = None,
+) -> BatchQueryResult:
+    """The honest full node's shared answer for several addresses."""
+    if not addresses:
+        raise QueryError("batch query needs at least one address")
+    if last_height is None:
+        last_height = system.tip_height
+    config = system.config
+
+    if config.uses_bmt:
+        per_address_segments = []
+        for address in addresses:
+            result = answer_query(system, address, first_height, last_height)
+            assert result.segments is not None
+            per_address_segments.append(result.segments)
+        return BatchQueryResult(
+            config.kind,
+            list(addresses),
+            system.tip_height,
+            first_height,
+            last_height,
+            per_address_segments=per_address_segments,
+        )
+
+    if not 1 <= first_height <= last_height <= system.tip_height:
+        raise QueryError(
+            f"bad query range [{first_height},{last_height}] for tip "
+            f"{system.tip_height}"
+        )
+    shared_filters = [
+        system.filters[height]
+        for height in range(first_height, last_height + 1)
+    ]
+    per_address_answers: List[List[object]] = []
+    for address in addresses:
+        item = address_item(address)
+        answers: List[object] = []
+        for offset, bf in enumerate(shared_filters):
+            height = first_height + offset
+            if not bf.might_contain(item):
+                answers.append(None)
+            else:
+                answers.append(_resolve_block(system, height, address))
+        per_address_answers.append(answers)
+    return BatchQueryResult(
+        config.kind,
+        list(addresses),
+        system.tip_height,
+        first_height,
+        last_height,
+        shared_filters=shared_filters if config.ships_block_filters else [],
+        per_address_answers=per_address_answers,
+    )
+
+
+# ---------------------------------------------------------------------------
+# verifier side
+
+
+def verify_batch_result(
+    batch: BatchQueryResult,
+    headers: Sequence[BlockHeader],
+    config: SystemConfig,
+    expected_addresses: Optional[Sequence[str]] = None,
+    expected_range: Optional[Tuple[int, int]] = None,
+) -> Dict[str, VerifiedHistory]:
+    """Verify a batch answer; returns one verified history per address."""
+    if batch.kind is not config.kind:
+        raise VerificationError(
+            f"batch claims system {batch.kind.value}, chain runs "
+            f"{config.kind.value}"
+        )
+    if expected_addresses is not None and list(expected_addresses) != (
+        batch.addresses
+    ):
+        raise VerificationError("batch answers a different address list")
+    tip_height = len(headers) - 1
+    if batch.tip_height != tip_height:
+        raise CompletenessError(
+            f"batch covers up to height {batch.tip_height}, local tip is "
+            f"{tip_height}"
+        )
+    if expected_range is not None and expected_range != (
+        batch.first_height,
+        batch.last_height,
+    ):
+        raise CompletenessError(
+            f"asked about heights {expected_range}, batch answers "
+            f"[{batch.first_height},{batch.last_height}]"
+        )
+
+    if config.uses_bmt:
+        assert batch.per_address_segments is not None
+        if len(batch.per_address_segments) != len(batch.addresses):
+            raise CompletenessError("segment lists do not match addresses")
+        histories = {}
+        for address, segments in zip(
+            batch.addresses, batch.per_address_segments
+        ):
+            result = QueryResult(
+                config.kind,
+                address,
+                batch.tip_height,
+                segments=segments,
+                first_height=batch.first_height,
+                last_height=batch.last_height,
+            )
+            histories[address] = verify_result(result, headers, config, address)
+        return histories
+
+    return _verify_shared_filter_batch(batch, headers, config)
+
+
+def _verify_shared_filter_batch(
+    batch: BatchQueryResult,
+    headers: Sequence[BlockHeader],
+    config: SystemConfig,
+) -> Dict[str, VerifiedHistory]:
+    assert batch.per_address_answers is not None
+    if len(batch.per_address_answers) != len(batch.addresses):
+        raise CompletenessError("answer lists do not match addresses")
+    for answers in batch.per_address_answers:
+        if len(answers) != batch.num_blocks:
+            raise CompletenessError(
+                f"expected {batch.num_blocks} per-block answers, got "
+                f"{len(answers)}"
+            )
+
+    # Authenticate every filter once (the amortized step).
+    filters = _authenticated_batch_filters(batch, headers, config)
+
+    histories: Dict[str, VerifiedHistory] = {}
+    for address, answers in zip(batch.addresses, batch.per_address_answers):
+        item = address_item(address)
+        transactions = []
+        for offset, resolution in enumerate(answers):
+            height = batch.first_height + offset
+            bf = filters[offset]
+            if not bf.might_contain(item):
+                if resolution is not None:
+                    raise VerificationError(
+                        f"height {height}: filter check succeeds for "
+                        f"{address!r}, yet evidence was supplied"
+                    )
+                continue
+            if resolution is None:
+                raise CompletenessError(
+                    f"height {height}: filter check failed for {address!r} "
+                    "but no evidence was supplied"
+                )
+            transactions.extend(
+                _verify_resolution(
+                    resolution, height, headers[height], config, address
+                )
+            )
+        transactions.sort(key=lambda pair: pair[0])
+        histories[address] = VerifiedHistory(address, transactions, None)
+    return histories
+
+
+def _authenticated_batch_filters(
+    batch: BatchQueryResult,
+    headers: Sequence[BlockHeader],
+    config: SystemConfig,
+) -> List[BloomFilter]:
+    from repro.chain.block import (
+        BloomExtension,
+        BloomHashExtension,
+        BloomHashSmtExtension,
+    )
+    from repro.query.config import SystemKind
+
+    filters: List[BloomFilter] = []
+    for offset in range(batch.num_blocks):
+        height = batch.first_height + offset
+        header = headers[height]
+        if config.kind is SystemKind.STRAWMAN_HEADER_BF:
+            extension = header.extension
+            if not isinstance(extension, BloomExtension):
+                raise VerificationError(
+                    f"height {height}: header lacks the strawman filter"
+                )
+            bloom = extension.bloom
+            bloom.num_hashes = config.num_hashes
+            filters.append(bloom)
+            continue
+        if batch.shared_filters is None or offset >= len(batch.shared_filters):
+            raise CompletenessError(
+                f"height {height}: batch is missing the shared filter"
+            )
+        shipped = batch.shared_filters[offset]
+        extension = header.extension
+        if isinstance(extension, (BloomHashExtension, BloomHashSmtExtension)):
+            committed = extension.bloom_hash
+        else:
+            raise VerificationError(
+                f"height {height}: header carries no filter commitment"
+            )
+        if bf_commitment(shipped) != committed:
+            raise VerificationError(
+                f"height {height}: shared filter does not match the header "
+                "commitment"
+            )
+        filters.append(shipped)
+    return filters

@@ -1,0 +1,213 @@
+"""Chain assembly: wrap workload bodies in system-specific headers + indexes.
+
+``build_system`` is the one place that constructs header commitments, so
+the prover and the chain can never drift apart: the BFs, SMTs, MTs and the
+BMT forest stored in :class:`BuiltSystem` are exactly the objects whose
+roots the headers commit to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bloom.filter import BloomFilter
+from repro.chain.address import address_item
+from repro.chain.block import (
+    Block,
+    BlockHeader,
+    BloomExtension,
+    BloomHashExtension,
+    BloomHashSmtExtension,
+    BmtExtension,
+    HeaderExtension,
+    LvqExtension,
+)
+from repro.chain.blockchain import Blockchain
+from repro.chain.segments import merge_span
+from repro.chain.transaction import Transaction
+from repro.crypto.hashing import HASH_SIZE
+from repro.errors import QueryError
+from repro.merkle.bmt import BmtForest, BmtTree
+from repro.merkle.sorted_tree import SortedMerkleTree
+from repro.merkle.tree import MerkleTree
+from repro.query.config import SystemConfig, SystemKind, bf_commitment
+
+
+class BuiltSystem:
+    """A chain plus the full-node-side indexes for one prototype system."""
+
+    __slots__ = ("config", "chain", "filters", "smts", "merkle_trees", "forest")
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        chain: Blockchain,
+        filters: List[BloomFilter],
+        smts: List[Optional[SortedMerkleTree]],
+        merkle_trees: List[MerkleTree],
+        forest: Optional[BmtForest],
+    ) -> None:
+        self.config = config
+        self.chain = chain
+        #: Per-height address Bloom filter (index = height).
+        self.filters = filters
+        #: Per-height SMT (``None`` entries on non-SMT systems).
+        self.smts = smts
+        #: Per-height transaction Merkle tree.
+        self.merkle_trees = merkle_trees
+        #: BMT subtree cache (``None`` on non-BMT systems).
+        self.forest = forest
+
+    @property
+    def tip_height(self) -> int:
+        return self.chain.tip_height
+
+    def headers(self) -> List[BlockHeader]:
+        """What the corresponding light node stores."""
+        return self.chain.headers()
+
+    def bmt_tree(self, anchor_height: int) -> BmtTree:
+        """The BMT committed by the header at ``anchor_height``."""
+        if self.forest is None or self.config.segment_len is None:
+            raise QueryError(f"{self.config.kind.value} has no BMTs")
+        start, end = merge_span(anchor_height, self.config.segment_len)
+        return self.forest.tree(start, end)
+
+    def append_block(self, transactions: Sequence[Transaction]) -> None:
+        """Extend the chain by one block (the full node's mining path).
+
+        Computes the same per-block indexes and header commitments as
+        :func:`build_system`, so a chain grown block-by-block is
+        byte-identical to one built in a single pass.
+        """
+        height = len(self.chain)
+        prev_hash = self.chain.header_at(height - 1).block_id()
+        block, indexes = _assemble_block(
+            self.config, height, prev_hash, list(transactions), self.forest
+        )
+        self.chain.append(block)
+        self.filters.append(indexes.bf)
+        self.smts.append(indexes.smt)
+        self.merkle_trees.append(indexes.merkle_tree)
+
+
+def _block_filter(
+    transactions: Sequence[Transaction], config: SystemConfig
+) -> BloomFilter:
+    """The per-block address filter (every unique address, once)."""
+    addresses = set()
+    for transaction in transactions:
+        addresses.update(transaction.addresses())
+    return BloomFilter.from_items(
+        (address_item(address) for address in sorted(addresses)),
+        config.bf_bits,
+        config.num_hashes,
+    )
+
+
+def _extension_for(
+    config: SystemConfig,
+    height: int,
+    bf: BloomFilter,
+    smt: Optional[SortedMerkleTree],
+    forest: Optional[BmtForest],
+) -> HeaderExtension:
+    kind = config.kind
+    if kind is SystemKind.STRAWMAN_HEADER_BF:
+        return BloomExtension(bf)
+    if kind is SystemKind.STRAWMAN:
+        return BloomHashExtension(bf_commitment(bf))
+    if kind is SystemKind.LVQ_NO_BMT:
+        assert smt is not None
+        return BloomHashSmtExtension(bf_commitment(bf), smt.root)
+    # BMT systems: the genesis block (height 0) is outside the paper's
+    # 1-indexed merge scheme; its header commits to a single-leaf tree of
+    # its own filter so the extension layout stays uniform.
+    assert forest is not None and config.segment_len is not None
+    if height == 0:
+        bmt_root = BmtTree.build([(0, bf)]).root.hash
+    else:
+        start, end = merge_span(height, config.segment_len)
+        bmt_root = forest.node(start, end).hash
+    if kind is SystemKind.LVQ_NO_SMT:
+        return BmtExtension(bmt_root)
+    assert smt is not None
+    return LvqExtension(bmt_root, smt.root)
+
+
+class _BlockIndexes:
+    """Per-block full-node indexes produced alongside a block."""
+
+    __slots__ = ("bf", "smt", "merkle_tree")
+
+    def __init__(
+        self,
+        bf: BloomFilter,
+        smt: Optional[SortedMerkleTree],
+        merkle_tree: MerkleTree,
+    ) -> None:
+        self.bf = bf
+        self.smt = smt
+        self.merkle_tree = merkle_tree
+
+
+def _assemble_block(
+    config: SystemConfig,
+    height: int,
+    prev_hash: bytes,
+    transactions: List[Transaction],
+    forest: Optional[BmtForest],
+):
+    """Build one block plus its indexes; registers its BF in the forest."""
+    merkle_tree = MerkleTree([tx.txid() for tx in transactions])
+    bf = _block_filter(transactions, config)
+    smt: Optional[SortedMerkleTree] = None
+    if config.uses_smt:
+        counts: "dict[str, int]" = {}
+        for transaction in transactions:
+            for address in transaction.addresses():
+                counts[address] = counts.get(address, 0) + 1
+        smt = SortedMerkleTree.from_counts(counts)
+    if forest is not None and height >= 1:
+        forest.add_block(height, bf)
+    extension = _extension_for(config, height, bf, smt, forest)
+    header = BlockHeader(
+        prev_hash=prev_hash,
+        merkle_root=merkle_tree.root,
+        timestamp=1_230_000_000 + height * 600,  # ten-minute cadence
+        extension=extension,
+    )
+    return Block(header, transactions, height), _BlockIndexes(
+        bf, smt, merkle_tree
+    )
+
+
+def build_system(
+    bodies: Sequence[Sequence[Transaction]], config: SystemConfig
+) -> BuiltSystem:
+    """Assemble a chain from workload ``bodies`` under ``config``.
+
+    ``bodies[h]`` is the transaction list of height ``h``; index 0 is the
+    genesis block.  Raises :class:`QueryError` on an empty workload.
+    """
+    if not bodies:
+        raise QueryError("cannot build a chain from an empty workload")
+
+    chain = Blockchain()
+    filters: List[BloomFilter] = []
+    smts: List[Optional[SortedMerkleTree]] = []
+    merkle_trees: List[MerkleTree] = []
+    forest = BmtForest() if config.uses_bmt else None
+
+    prev_hash = b"\x00" * HASH_SIZE
+    for height, transactions in enumerate(bodies):
+        block, indexes = _assemble_block(
+            config, height, prev_hash, list(transactions), forest
+        )
+        chain.append(block)
+        prev_hash = block.header.block_id()
+        filters.append(indexes.bf)
+        smts.append(indexes.smt)
+        merkle_trees.append(indexes.merkle_tree)
+
+    return BuiltSystem(config, chain, filters, smts, merkle_trees, forest)

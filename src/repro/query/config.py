@@ -1,0 +1,202 @@
+"""System configurations for the four evaluated prototypes (§VII-B).
+
+A :class:`SystemConfig` fixes the consensus-level parameters every node of
+a chain must agree on: which commitments headers carry, the Bloom filter
+geometry, and (for BMT systems) the segment length ``M``.  The same
+config object drives chain building, proof generation, proof
+verification, and wire (de)serialization, so the two sides of the
+protocol can never disagree about layouts.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.bloom.filter import BloomFilter
+from repro.crypto.hashing import tagged_hash
+from repro.errors import QueryError
+
+#: Tag for the header's Bloom-filter commitment in hash-only systems.
+_BF_COMMIT_TAG = "lvq/bf-commit"
+
+
+def bf_commitment(bf: BloomFilter) -> bytes:
+    """The 32-byte header commitment to a per-block filter."""
+    return tagged_hash(_BF_COMMIT_TAG, bf.to_bytes())
+
+
+class SystemKind(enum.Enum):
+    """The evaluated prototypes plus the §IV-A original strawman."""
+
+    #: §IV-A literal design: the whole BF lives in the header.  Kept for
+    #: the Challenge-1 storage benchmark; query-wise identical to
+    #: STRAWMAN except the filter does not ship with results.
+    STRAWMAN_HEADER_BF = "strawman-header-bf"
+    #: §VII-B baseline ("strawman" in the figures): header stores H(BF).
+    STRAWMAN = "strawman"
+    #: Strawman + SMT (ablation: SMT without BMT).
+    LVQ_NO_BMT = "lvq-no-bmt"
+    #: BMT without SMT (ablation: integral blocks on failed leaf checks).
+    LVQ_NO_SMT = "lvq-no-smt"
+    #: The full design.
+    LVQ = "lvq"
+
+
+_KIND_BY_VALUE = {kind.value: kind for kind in SystemKind}
+
+
+class SystemConfig:
+    """Consensus parameters of one prototype chain."""
+
+    __slots__ = ("kind", "bf_bytes", "num_hashes", "segment_len")
+
+    def __init__(
+        self,
+        kind: SystemKind,
+        bf_bytes: int,
+        num_hashes: int = 3,
+        segment_len: "int | None" = None,
+    ) -> None:
+        if bf_bytes <= 0:
+            raise QueryError(f"BF size must be positive, got {bf_bytes} bytes")
+        if num_hashes <= 0:
+            raise QueryError(f"need at least one hash function, got {num_hashes}")
+        self.kind = kind
+        self.bf_bytes = bf_bytes
+        self.num_hashes = num_hashes
+        if self.uses_bmt:
+            if segment_len is None or segment_len <= 0:
+                raise QueryError(f"{kind.value} needs a segment length")
+            if segment_len & (segment_len - 1):
+                raise QueryError(
+                    f"segment length must be a power of two, got {segment_len}"
+                )
+            self.segment_len = segment_len
+        else:
+            if segment_len is not None:
+                raise QueryError(f"{kind.value} does not use segments")
+            self.segment_len = None
+
+    # -- capability flags ----------------------------------------------------
+
+    @property
+    def uses_bmt(self) -> bool:
+        return self.kind in (SystemKind.LVQ, SystemKind.LVQ_NO_SMT)
+
+    @property
+    def uses_smt(self) -> bool:
+        return self.kind in (SystemKind.LVQ, SystemKind.LVQ_NO_BMT)
+
+    @property
+    def ships_block_filters(self) -> bool:
+        """Do per-block filters travel with query results?
+
+        True for hash-committed non-BMT systems: the light node holds only
+        ``H(BF)`` so the prover must ship the filter itself.
+        """
+        return self.kind in (SystemKind.STRAWMAN, SystemKind.LVQ_NO_BMT)
+
+    @property
+    def bf_bits(self) -> int:
+        return self.bf_bytes * 8
+
+    @property
+    def header_extension_kind(self) -> int:
+        """The wire id of this system's header extension (for decoding)."""
+        from repro.chain import block as _block
+
+        return {
+            SystemKind.STRAWMAN_HEADER_BF: _block.BloomExtension.kind,
+            SystemKind.STRAWMAN: _block.BloomHashExtension.kind,
+            SystemKind.LVQ_NO_BMT: _block.BloomHashSmtExtension.kind,
+            SystemKind.LVQ_NO_SMT: _block.BmtExtension.kind,
+            SystemKind.LVQ: _block.LvqExtension.kind,
+        }[self.kind]
+
+    @property
+    def header_bloom_bytes(self) -> int:
+        """Filter bytes embedded in each header (0 unless the §IV-A
+        original strawman, which stores the whole filter)."""
+        if self.kind is SystemKind.STRAWMAN_HEADER_BF:
+            return self.bf_bytes
+        return 0
+
+    # -- presets matching §VII-B ----------------------------------------------
+
+    @classmethod
+    def strawman(cls, bf_bytes: int, num_hashes: int = 3) -> "SystemConfig":
+        return cls(SystemKind.STRAWMAN, bf_bytes, num_hashes)
+
+    @classmethod
+    def strawman_header_bf(
+        cls, bf_bytes: int, num_hashes: int = 3
+    ) -> "SystemConfig":
+        return cls(SystemKind.STRAWMAN_HEADER_BF, bf_bytes, num_hashes)
+
+    @classmethod
+    def lvq_no_bmt(cls, bf_bytes: int, num_hashes: int = 3) -> "SystemConfig":
+        return cls(SystemKind.LVQ_NO_BMT, bf_bytes, num_hashes)
+
+    @classmethod
+    def lvq_no_smt(
+        cls, bf_bytes: int, segment_len: int, num_hashes: int = 3
+    ) -> "SystemConfig":
+        return cls(SystemKind.LVQ_NO_SMT, bf_bytes, num_hashes, segment_len)
+
+    @classmethod
+    def lvq(
+        cls, bf_bytes: int, segment_len: int, num_hashes: int = 3
+    ) -> "SystemConfig":
+        return cls(SystemKind.LVQ, bf_bytes, num_hashes, segment_len)
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> "dict":
+        """JSON-friendly form for manifests and config files."""
+        payload = {
+            "kind": self.kind.value,
+            "bf_bytes": self.bf_bytes,
+            "num_hashes": self.num_hashes,
+        }
+        if self.segment_len is not None:
+            payload["segment_len"] = self.segment_len
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: "dict") -> "SystemConfig":
+        try:
+            kind = kind_from_value(payload["kind"])
+            return cls(
+                kind,
+                int(payload["bf_bytes"]),
+                int(payload["num_hashes"]),
+                payload.get("segment_len"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise QueryError(f"malformed config payload: {exc}") from exc
+
+    # -- misc ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SystemConfig):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.bf_bytes == other.bf_bytes
+            and self.num_hashes == other.num_hashes
+            and self.segment_len == other.segment_len
+        )
+
+    def __repr__(self) -> str:
+        suffix = f", M={self.segment_len}" if self.segment_len else ""
+        return (
+            f"SystemConfig({self.kind.value}, bf={self.bf_bytes}B, "
+            f"k={self.num_hashes}{suffix})"
+        )
+
+
+def kind_from_value(value: str) -> SystemKind:
+    try:
+        return _KIND_BY_VALUE[value]
+    except KeyError:
+        raise QueryError(f"unknown system kind {value!r}") from None

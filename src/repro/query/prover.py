@@ -1,0 +1,166 @@
+"""Full-node-side proof generation (§V).
+
+``answer_query`` builds the complete, honest answer for one address under
+the system's config.  The structure mirrors §V exactly:
+
+* BMT systems produce one :class:`SegmentProof` per covering
+  (sub-)segment (complete segments first, then the Table-II binary
+  decomposition of the last partial segment); each segment carries the
+  merged multiproof and a block-level resolution for every failed leaf;
+* non-BMT systems walk the chain block by block, shipping the filter
+  (when the header holds only its hash) plus the Eq-4 fragment.
+
+Dishonest behaviours for the security tests live in
+:mod:`repro.query.adversary`, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.chain.address import address_item
+from repro.chain.block import Block
+from repro.chain.segments import covering_spans
+from repro.errors import QueryError
+from repro.merkle.bmt import EndpointKind
+from repro.query.builder import BuiltSystem
+from repro.query.config import SystemKind
+from repro.query.fragments import (
+    ExistenceResolution,
+    FpmResolution,
+    IntegralBlockResolution,
+    PerBlockAnswer,
+    SegmentProof,
+    TxWithBranch,
+)
+from repro.query.result import QueryResult
+
+
+def answer_query(
+    system: BuiltSystem,
+    address: str,
+    first_height: int = 1,
+    last_height: "int | None" = None,
+) -> QueryResult:
+    """The honest full node's complete answer for ``address``.
+
+    ``first_height``/``last_height`` restrict the query to a height range
+    (defaults: the whole chain) — the range-query extension.  On BMT
+    systems, segments partially overlapping the range ship restricted
+    multiproofs whose out-of-range subtrees are ``(hash, bf)`` stubs.
+    """
+    if system.tip_height < 1:
+        raise QueryError("chain has no queryable blocks (only genesis)")
+    if last_height is None:
+        last_height = system.tip_height
+    if not 1 <= first_height <= last_height <= system.tip_height:
+        raise QueryError(
+            f"bad query range [{first_height},{last_height}] for tip "
+            f"{system.tip_height}"
+        )
+    if system.config.uses_bmt:
+        return _answer_with_segments(system, address, first_height, last_height)
+    return _answer_per_block(system, address, first_height, last_height)
+
+
+# ---------------------------------------------------------------------------
+# BMT path (LVQ and LVQ-no-SMT)
+
+
+def _answer_with_segments(
+    system: BuiltSystem, address: str, first: int, last: int
+) -> QueryResult:
+    config = system.config
+    assert config.segment_len is not None and system.forest is not None
+    item = address_item(address)
+    segments: List[SegmentProof] = []
+    for anchor, start, end in covering_spans(system.tip_height, config.segment_len):
+        if end < first or start > last:
+            continue  # segment entirely outside the queried range
+        clipped = (max(start, first), min(end, last))
+        tree = system.forest.tree(start, end)
+        multiproof = tree.multiproof(item, query_range=clipped)
+        resolutions: Dict[int, object] = {}
+        for endpoint in tree.find_endpoints(item):
+            if endpoint.kind is EndpointKind.LEAF_FAILED:
+                height = endpoint.node.start
+                if clipped[0] <= height <= clipped[1]:
+                    resolutions[height] = _resolve_block(
+                        system, height, address
+                    )
+        segments.append(SegmentProof(anchor, start, end, multiproof, resolutions))
+    return QueryResult(
+        config.kind,
+        address,
+        system.tip_height,
+        segments=segments,
+        first_height=first,
+        last_height=last,
+    )
+
+
+# ---------------------------------------------------------------------------
+# per-block path (strawman and LVQ-no-BMT)
+
+
+def _answer_per_block(
+    system: BuiltSystem, address: str, first: int, last: int
+) -> QueryResult:
+    config = system.config
+    item = address_item(address)
+    answers: List[PerBlockAnswer] = []
+    for height in range(first, last + 1):
+        bf = system.filters[height]
+        shipped = bf if config.ships_block_filters else None
+        if not bf.might_contain(item):
+            answers.append(PerBlockAnswer(shipped, None))  # Eq 4: ∅
+            continue
+        answers.append(PerBlockAnswer(shipped, _resolve_block(system, height, address)))
+    return QueryResult(
+        config.kind,
+        address,
+        system.tip_height,
+        blocks=answers,
+        first_height=first,
+        last_height=last,
+    )
+
+
+# ---------------------------------------------------------------------------
+# block-level resolutions
+
+
+def _resolve_block(system: BuiltSystem, height: int, address: str):
+    """Evidence for a block whose filter check failed for ``address``."""
+    config = system.config
+    block = system.chain.block_at(height)
+
+    if not config.uses_smt:
+        if config.kind is SystemKind.LVQ_NO_SMT:
+            # No per-block count commitment exists, so completeness can
+            # only be proven by shipping the whole body (DESIGN.md §5).
+            return IntegralBlockResolution(block.body_bytes())
+        # Strawman Eq 4: Merkle branches when present, IB on an FPM.  The
+        # branches cannot pin the appearance count — Challenge 3's gap.
+        entries = _existence_entries(system, block, address)
+        if entries:
+            return ExistenceResolution(None, entries)
+        return IntegralBlockResolution(block.body_bytes())
+
+    smt = system.smts[height]
+    assert smt is not None
+    if address in smt:
+        entries = _existence_entries(system, block, address)
+        return ExistenceResolution(smt.prove_existence(address), entries)
+    return FpmResolution(smt.prove_inexistence(address))
+
+
+def _existence_entries(
+    system: BuiltSystem, block: Block, address: str
+) -> List[TxWithBranch]:
+    merkle_tree = system.merkle_trees[block.height]
+    return [
+        TxWithBranch(transaction, merkle_tree.branch(index))
+        for index, transaction in enumerate(block.transactions)
+        if transaction.involves(address)
+    ]

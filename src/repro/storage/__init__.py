@@ -1,0 +1,10 @@
+"""On-disk persistence for chains and light-node header files."""
+
+from repro.storage.chain_store import (
+    load_headers,
+    load_system,
+    save_headers,
+    save_system,
+)
+
+__all__ = ["save_system", "load_system", "save_headers", "load_headers"]

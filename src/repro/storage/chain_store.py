@@ -1,0 +1,158 @@
+"""On-disk chain and header storage.
+
+A chain directory holds three files:
+
+* ``manifest.json`` — the :class:`SystemConfig` plus block count and the
+  tip block id (hex), written last so a torn write is detectable;
+* ``bodies.dat``   — concatenated ``var_bytes(block body)`` records;
+* ``headers.dat``  — concatenated ``var_bytes(header)`` records.
+
+``load_system`` rebuilds the full node's indexes (filters, SMTs, Merkle
+trees, BMT forest) from the bodies — they are pure functions of the
+blocks — and then cross-checks every rebuilt header against the stored
+one, so silent corruption of either file is caught at load time rather
+than at query time.
+
+Light nodes persist just the header file via :func:`save_headers` /
+:func:`load_headers`; loading re-validates the prev-hash linkage.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Union
+
+from repro.chain.block import Block, BlockHeader
+from repro.crypto.encoding import ByteReader, write_var_bytes
+from repro.errors import ChainError, EncodingError
+from repro.query.builder import BuiltSystem, build_system
+from repro.query.config import SystemConfig
+
+_MANIFEST = "manifest.json"
+_BODIES = "bodies.dat"
+_HEADERS = "headers.dat"
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_system(system: BuiltSystem, directory: PathLike) -> None:
+    """Persist a built chain to ``directory`` (created if missing)."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    with open(path / _BODIES, "wb") as bodies_file:
+        for block in system.chain:
+            bodies_file.write(write_var_bytes(block.body_bytes()))
+    with open(path / _HEADERS, "wb") as headers_file:
+        for header in system.headers():
+            headers_file.write(write_var_bytes(header.serialize()))
+
+    manifest = {
+        "format": 1,
+        "config": system.config.to_dict(),
+        "blocks": len(system.chain),
+        "tip_id": system.chain.header_at(system.tip_height)
+        .block_id()
+        .hex(),
+    }
+    # The manifest is written last: its presence marks a complete store.
+    (path / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+
+
+def load_system(directory: PathLike) -> BuiltSystem:
+    """Load a chain directory and rebuild the full node's indexes.
+
+    Raises :class:`ChainError` on any inconsistency between manifest,
+    bodies, and headers.
+    """
+    path = pathlib.Path(directory)
+    try:
+        manifest = json.loads((path / _MANIFEST).read_text())
+    except FileNotFoundError as exc:
+        raise ChainError(f"no chain manifest in {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise ChainError(f"corrupt chain manifest in {path}: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != 1:
+        raise ChainError(
+            "unsupported or malformed chain store manifest"
+        )
+    try:
+        config = SystemConfig.from_dict(manifest["config"])
+        expected_blocks = int(manifest["blocks"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ChainError(f"malformed chain manifest: {exc}") from exc
+    if expected_blocks <= 0:
+        raise ChainError(f"manifest promises {expected_blocks} blocks")
+
+    bodies = _read_records(path / _BODIES)
+    if len(bodies) != expected_blocks:
+        raise ChainError(
+            f"manifest promises {expected_blocks} blocks, bodies file has "
+            f"{len(bodies)}"
+        )
+    transactions = [Block.body_from_bytes(body) for body in bodies]
+    system = build_system(transactions, config)
+
+    stored_headers = _read_records(path / _HEADERS)
+    if len(stored_headers) != expected_blocks:
+        raise ChainError(
+            f"manifest promises {expected_blocks} headers, header file has "
+            f"{len(stored_headers)}"
+        )
+    for height, (stored, rebuilt) in enumerate(
+        zip(stored_headers, system.headers())
+    ):
+        if stored != rebuilt.serialize():
+            raise ChainError(
+                f"stored header at height {height} does not match the "
+                "header rebuilt from the bodies — store is corrupt"
+            )
+    tip_id = system.chain.header_at(system.tip_height).block_id().hex()
+    if manifest.get("tip_id") != tip_id:
+        raise ChainError("manifest tip id does not match the stored chain")
+    return system
+
+
+def save_headers(headers: List[BlockHeader], file_path: PathLike) -> None:
+    """Persist a light node's header list to one file."""
+    with open(file_path, "wb") as handle:
+        for header in headers:
+            handle.write(write_var_bytes(header.serialize()))
+
+
+def load_headers(
+    file_path: PathLike, config: SystemConfig
+) -> List[BlockHeader]:
+    """Load and linkage-validate a light node's header file."""
+    raw = pathlib.Path(file_path).read_bytes()
+    reader = ByteReader(raw)
+    headers: List[BlockHeader] = []
+    while reader.remaining:
+        record = ByteReader(reader.var_bytes())
+        header = BlockHeader.deserialize(
+            record, config.header_extension_kind, config.header_bloom_bytes
+        )
+        record.finish()
+        if headers and header.prev_hash != headers[-1].block_id():
+            raise ChainError(
+                f"header {len(headers)} in {file_path} does not link onto "
+                "its predecessor"
+            )
+        headers.append(header)
+    return headers
+
+
+def _read_records(file_path: pathlib.Path) -> List[bytes]:
+    try:
+        raw = file_path.read_bytes()
+    except FileNotFoundError as exc:
+        raise ChainError(f"missing chain store file {file_path}") from exc
+    reader = ByteReader(raw)
+    records = []
+    try:
+        while reader.remaining:
+            records.append(reader.var_bytes())
+    except EncodingError as exc:
+        raise ChainError(f"corrupt chain store file {file_path}: {exc}") from exc
+    return records

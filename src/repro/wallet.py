@@ -1,0 +1,154 @@
+"""A watch-only wallet on top of the verifiable-query light client.
+
+The wallet owns a :class:`LightNode` and a set of watched addresses.
+``refresh`` pulls all histories in one verified batch (amortizing the
+per-block filters on strawman-family chains); ``sync`` first brings the
+headers up to date — following reorgs — then refreshes.  Balances and
+histories exposed by the wallet are always *verified*: a lying full node
+makes ``refresh`` raise, it can never make the wallet display a wrong
+number.  ``save``/``load`` persist the watched set and the header chain.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Tuple
+
+from repro.chain.transaction import Transaction
+from repro.errors import ReproError, VerificationError
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.query.config import SystemConfig
+from repro.query.verifier import VerifiedHistory
+from repro.storage.chain_store import load_headers, save_headers
+
+_WALLET_FILE = "wallet.json"
+_HEADERS_FILE = "headers.dat"
+
+
+class Wallet:
+    """Watch-only wallet: verified balances for a set of addresses."""
+
+    def __init__(
+        self, light_node: LightNode, addresses: Iterable[str] = ()
+    ) -> None:
+        self.light_node = light_node
+        self._addresses: List[str] = []
+        self._histories: Dict[str, VerifiedHistory] = {}
+        for address in addresses:
+            self.watch(address)
+
+    # -- watched set ---------------------------------------------------------
+
+    @property
+    def addresses(self) -> List[str]:
+        return list(self._addresses)
+
+    def watch(self, address: str) -> None:
+        """Add an address to the watched set (idempotent)."""
+        if not address:
+            raise ValueError("cannot watch an empty address")
+        if address not in self._addresses:
+            self._addresses.append(address)
+
+    def unwatch(self, address: str) -> None:
+        if address in self._addresses:
+            self._addresses.remove(address)
+            self._histories.pop(address, None)
+
+    # -- syncing ---------------------------------------------------------------
+
+    def refresh(self, full_node: FullNode) -> Dict[str, int]:
+        """Re-query every watched address in one verified batch.
+
+        Returns the address → balance map.  Raises
+        :class:`VerificationError` (leaving previous state untouched) if
+        the full node's answer fails verification in any way.
+        """
+        if not self._addresses:
+            return {}
+        histories = self.light_node.query_batch(full_node, self._addresses)
+        self._histories = histories
+        return self.balances()
+
+    def sync(self, full_node: FullNode) -> Tuple[int, int]:
+        """Header sync (reorg-aware) followed by a refresh.
+
+        Returns ``(replaced, appended)`` header counts from the sync.
+        """
+        replaced, appended = self.light_node.sync_with_reorg(full_node)
+        if self._addresses:
+            self.refresh(full_node)
+        return replaced, appended
+
+    # -- verified views ---------------------------------------------------------
+
+    def balance(self, address: str) -> int:
+        history = self._histories.get(address)
+        if history is None:
+            raise VerificationError(
+                f"no verified history for {address!r}; call refresh() first"
+            )
+        return history.balance()
+
+    def balances(self) -> Dict[str, int]:
+        return {address: self.balance(address) for address in self._addresses
+                if address in self._histories}
+
+    def total_balance(self) -> int:
+        return sum(self.balances().values())
+
+    def history(self, address: str) -> List[Tuple[int, Transaction]]:
+        history = self._histories.get(address)
+        if history is None:
+            raise VerificationError(
+                f"no verified history for {address!r}; call refresh() first"
+            )
+        return list(history.transactions)
+
+    def activity(self) -> List[Tuple[int, str, Transaction]]:
+        """All watched transactions, ``(height, address, tx)``, by height."""
+        merged = []
+        for address in self._addresses:
+            history = self._histories.get(address)
+            if history is None:
+                continue
+            merged.extend(
+                (height, address, tx) for height, tx in history.transactions
+            )
+        merged.sort(key=lambda entry: entry[0])
+        return merged
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, directory: "str | pathlib.Path") -> None:
+        path = pathlib.Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        save_headers(self.light_node.headers, path / _HEADERS_FILE)
+        manifest = {
+            "format": 1,
+            "config": self.light_node.config.to_dict(),
+            "addresses": self._addresses,
+        }
+        (path / _WALLET_FILE).write_text(json.dumps(manifest, indent=2))
+
+    @classmethod
+    def load(cls, directory: "str | pathlib.Path") -> "Wallet":
+        path = pathlib.Path(directory)
+        try:
+            manifest = json.loads((path / _WALLET_FILE).read_text())
+        except FileNotFoundError as exc:
+            raise ReproError(f"no wallet file in {path}") from exc
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"corrupt wallet file in {path}: {exc}") from exc
+        config = SystemConfig.from_dict(manifest["config"])
+        headers = load_headers(path / _HEADERS_FILE, config)
+        light_node = LightNode(headers, config)
+        return cls(light_node, manifest.get("addresses", []))
+
+    def __repr__(self) -> str:
+        return (
+            f"Wallet(addresses={len(self._addresses)}, "
+            f"tip={self.light_node.tip_height})"
+        )

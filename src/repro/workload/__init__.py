@@ -1,0 +1,21 @@
+"""Deterministic synthetic Bitcoin workload (substitute for mainnet data)."""
+
+from repro.workload.profiles import (
+    PAPER_PROBE_PROFILES,
+    ProbeProfile,
+    scaled_probe_profiles,
+)
+from repro.workload.generator import (
+    GeneratedWorkload,
+    WorkloadParams,
+    generate_workload,
+)
+
+__all__ = [
+    "PAPER_PROBE_PROFILES",
+    "ProbeProfile",
+    "scaled_probe_profiles",
+    "GeneratedWorkload",
+    "WorkloadParams",
+    "generate_workload",
+]

@@ -1,0 +1,329 @@
+"""Deterministic synthetic chain generator (the mainnet substitute).
+
+Produces the *bodies* of a chain — per-height transaction lists — that the
+query systems then wrap in their own headers.  Key properties:
+
+* **Determinism.**  Everything derives from ``WorkloadParams.seed``; the
+  same params always give byte-identical transactions, so benchmark runs
+  are comparable and test fixtures are stable.
+* **UTXO validity.**  Every non-coinbase input spends a real earlier
+  output with matching address and value; :class:`repro.chain.utxo.UtxoSet`
+  replays cleanly over the result.
+* **Exact probe footprints.**  Each :class:`ProbeProfile` address appears
+  in exactly ``tx_count`` transactions spread over exactly ``block_count``
+  blocks (Table III), and in *no other* transaction — probe outputs are
+  quarantined from the general spending pool so background traffic can
+  never touch them.
+* **Address reuse.**  Background addresses come from a finite universe
+  with a heavy-tailed (Pareto) pick, mimicking mainnet's highly skewed
+  address reuse; uniqueness per block is what sizes the Bloom filters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.address import synthetic_address
+from repro.chain.transaction import Transaction, TxInput, TxOutput
+from repro.errors import WorkloadError
+from repro.workload.profiles import ProbeProfile, scaled_probe_profiles
+
+#: Value of each block subsidy, in the chain's smallest unit.
+_COINBASE_VALUE = 50_000
+#: Outputs minted by the genesis block to bootstrap the spendable pool.
+_GENESIS_FANOUT = 64
+#: Fraction of probe transactions that spend from the probe (vs pay it).
+_PROBE_SPEND_BIAS = 0.35
+
+
+class WorkloadParams:
+    """Knobs of the synthetic chain."""
+
+    __slots__ = (
+        "num_blocks",
+        "txs_per_block",
+        "seed",
+        "address_universe",
+        "probes",
+    )
+
+    def __init__(
+        self,
+        num_blocks: int,
+        txs_per_block: int = 40,
+        seed: int = 2020,
+        address_universe: int = 0,
+        probes: Optional[Sequence[ProbeProfile]] = None,
+    ) -> None:
+        if num_blocks <= 0:
+            raise WorkloadError(f"need at least one block, got {num_blocks}")
+        if txs_per_block < 1:
+            raise WorkloadError(
+                f"need at least one background tx per block, got {txs_per_block}"
+            )
+        self.num_blocks = num_blocks
+        self.txs_per_block = txs_per_block
+        self.seed = seed
+        if address_universe <= 0:
+            # Mainnet-like uniqueness: most outputs pay fresh addresses,
+            # so the universe scales with the whole chain's output count.
+            # (Cross-block overlap then comes mostly from the hot set.)
+            address_universe = max(64, num_blocks * txs_per_block)
+        self.address_universe = address_universe
+        if probes is None:
+            probes = scaled_probe_profiles(num_blocks)
+        self.probes = list(probes)
+        for profile in self.probes:
+            if profile.block_count > num_blocks:
+                raise WorkloadError(
+                    f"{profile.name} needs {profile.block_count} blocks but "
+                    f"the chain has only {num_blocks}"
+                )
+
+
+class GeneratedWorkload:
+    """The generator's output: bodies plus probe bookkeeping."""
+
+    __slots__ = ("params", "bodies", "probe_addresses", "probe_profiles")
+
+    def __init__(
+        self,
+        params: WorkloadParams,
+        bodies: List[List[Transaction]],
+        probe_addresses: Dict[str, str],
+        probe_profiles: List[ProbeProfile],
+    ) -> None:
+        self.params = params
+        #: ``bodies[h]`` is the transaction list of height ``h`` (0=genesis).
+        self.bodies = bodies
+        #: Profile name → injected address string.
+        self.probe_addresses = probe_addresses
+        self.probe_profiles = probe_profiles
+
+    def history_of(self, address: str) -> List[Tuple[int, Transaction]]:
+        """Ground-truth history: every ``(height, tx)`` touching ``address``.
+
+        This is what a verified query must reproduce exactly; integration
+        tests compare against it.
+        """
+        history = []
+        for height, transactions in enumerate(self.bodies):
+            for transaction in transactions:
+                if transaction.involves(address):
+                    history.append((height, transaction))
+        return history
+
+    def footprint_of(self, address: str) -> Tuple[int, int]:
+        """``(#tx, #blocks)`` of an address — Table III's two columns."""
+        history = self.history_of(address)
+        return len(history), len({height for height, _tx in history})
+
+
+def generate_workload(params: WorkloadParams) -> GeneratedWorkload:
+    """Build the synthetic chain bodies described by ``params``."""
+    rng = random.Random(params.seed)
+    universe = _AddressUniverse(params.address_universe)
+    pool = _SpendablePool(rng)
+
+    probe_addresses = {
+        profile.name: synthetic_address(f"probe/{profile.name}".encode())
+        for profile in params.probes
+    }
+    plan = _plan_probe_placement(params, rng)
+    probe_utxos: Dict[str, List[Tuple[bytes, int, int]]] = {
+        profile.name: [] for profile in params.probes
+    }
+
+    bodies: List[List[Transaction]] = [_genesis_body(universe, pool)]
+    for height in range(1, params.num_blocks + 1):
+        transactions: List[Transaction] = []
+
+        coinbase = Transaction(
+            [TxInput.coinbase(height)],
+            [TxOutput(universe.pick(rng), _COINBASE_VALUE)],
+        )
+        transactions.append(coinbase)
+        pool.add_outputs(coinbase)
+
+        for _ in range(params.txs_per_block):
+            transaction = _background_tx(rng, universe, pool)
+            transactions.append(transaction)
+            pool.add_outputs(transaction)
+
+        for probe_name, tx_count in plan.get(height, ()):  # deterministic order
+            address = probe_addresses[probe_name]
+            for _ in range(tx_count):
+                transaction = _probe_tx(
+                    rng, universe, pool, address, probe_utxos[probe_name]
+                )
+                transactions.append(transaction)
+
+        bodies.append(transactions)
+
+    return GeneratedWorkload(params, bodies, probe_addresses, params.probes)
+
+
+# ---------------------------------------------------------------------------
+# internals
+
+
+class _AddressUniverse:
+    """Lazy universe of background addresses with mainnet-like reuse.
+
+    30% of picks hit a small Zipf-distributed "hot set" (exchanges,
+    pools, gambling services — the heavy re-users on mainnet); the rest
+    are uniform over the whole universe.  The mix keeps per-block unique
+    address counts high (what sizes the Bloom filters) while still
+    exercising address reuse across blocks.
+    """
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._cache: Dict[int, str] = {}
+
+    def pick(self, rng: random.Random) -> str:
+        if rng.random() < 0.3:
+            index = (int(rng.paretovariate(1.2)) - 1) % self._size
+        else:
+            index = rng.randrange(self._size)
+        address = self._cache.get(index)
+        if address is None:
+            address = synthetic_address(f"universe/{index}".encode())
+            self._cache[index] = address
+        return address
+
+
+class _SpendablePool:
+    """Unspent background outputs available for new transactions.
+
+    Probe outputs never enter this pool, so probes only ever appear in
+    their planned transactions.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._entries: List[Tuple[bytes, int, str, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add_outputs(self, transaction: Transaction) -> None:
+        txid = transaction.txid()
+        for index, tx_output in enumerate(transaction.outputs):
+            self._entries.append(
+                (txid, index, tx_output.address, tx_output.value)
+            )
+
+    def pop_random(self) -> Tuple[bytes, int, str, int]:
+        if not self._entries:
+            raise WorkloadError("spendable pool exhausted — raise txs_per_block")
+        index = self._rng.randrange(len(self._entries))
+        self._entries[index], self._entries[-1] = (
+            self._entries[-1],
+            self._entries[index],
+        )
+        return self._entries.pop()
+
+
+def _genesis_body(
+    universe: _AddressUniverse, pool: _SpendablePool
+) -> List[Transaction]:
+    """Height-0 block: one coinbase fanning out to seed the pool.
+
+    Genesis pays dedicated one-shot addresses outside the universe, so
+    every queryable address's history lies entirely in heights >= 1 — the
+    paper's 1-indexed query range.
+    """
+    del universe  # genesis deliberately avoids the reusable universe
+    outputs = [
+        TxOutput(synthetic_address(f"genesis/{index}".encode()), _COINBASE_VALUE)
+        for index in range(_GENESIS_FANOUT)
+    ]
+    genesis_tx = Transaction([TxInput.coinbase(0)], outputs)
+    pool.add_outputs(genesis_tx)
+    return [genesis_tx]
+
+
+def _split_value(rng: random.Random, value: int, max_parts: int) -> List[int]:
+    """Split ``value`` into 1..max_parts positive parts summing exactly."""
+    parts = min(max_parts, value, 1 + rng.randrange(max_parts))
+    if parts <= 1:
+        return [value]
+    cuts = sorted(rng.sample(range(1, value), parts - 1))
+    bounds = [0] + cuts + [value]
+    return [bounds[i + 1] - bounds[i] for i in range(parts)]
+
+
+def _background_tx(
+    rng: random.Random, universe: _AddressUniverse, pool: _SpendablePool
+) -> Transaction:
+    num_inputs = 2 if (len(pool) > 2 and rng.random() < 0.3) else 1
+    inputs = []
+    total = 0
+    for _ in range(num_inputs):
+        txid, vout, address, value = pool.pop_random()
+        inputs.append(TxInput(txid, vout, address, value))
+        total += value
+    outputs = [
+        TxOutput(universe.pick(rng), part)
+        for part in _split_value(rng, total, 3)
+    ]
+    return Transaction(inputs, outputs)
+
+
+def _probe_tx(
+    rng: random.Random,
+    universe: _AddressUniverse,
+    pool: _SpendablePool,
+    probe_address: str,
+    probe_utxos: List[Tuple[bytes, int, int]],
+) -> Transaction:
+    """One transaction involving the probe: a spend when it has funds and
+    the dice say so, otherwise a payment to it."""
+    if probe_utxos and rng.random() < _PROBE_SPEND_BIAS:
+        txid, vout, value = probe_utxos.pop(rng.randrange(len(probe_utxos)))
+        inputs = [TxInput(txid, vout, probe_address, value)]
+        outputs = [
+            TxOutput(universe.pick(rng), part)
+            for part in _split_value(rng, value, 2)
+        ]
+        return Transaction(inputs, outputs)
+
+    txid, vout, address, value = pool.pop_random()
+    inputs = [TxInput(txid, vout, address, value)]
+    if value >= 2 and rng.random() < 0.5:
+        to_probe = 1 + rng.randrange(value - 1)
+        outputs = [TxOutput(probe_address, to_probe)]
+        change = value - to_probe
+        if change:
+            outputs.append(TxOutput(universe.pick(rng), change))
+    else:
+        to_probe = value
+        outputs = [TxOutput(probe_address, to_probe)]
+    transaction = Transaction(inputs, outputs)
+    probe_utxos.append((transaction.txid(), 0, to_probe))
+    return transaction
+
+
+def _plan_probe_placement(
+    params: WorkloadParams, rng: random.Random
+) -> Dict[int, List[Tuple[str, int]]]:
+    """Decide, per height, how many transactions each probe gets.
+
+    Every probe gets exactly ``block_count`` distinct heights with at
+    least one transaction each, and ``tx_count`` transactions in total.
+    """
+    plan: Dict[int, List[Tuple[str, int]]] = {}
+    for profile in params.probes:
+        if profile.tx_count == 0:
+            continue
+        heights = rng.sample(
+            range(1, params.num_blocks + 1), profile.block_count
+        )
+        counts = {height: 1 for height in heights}
+        for _ in range(profile.tx_count - profile.block_count):
+            counts[rng.choice(heights)] += 1
+        for height in sorted(counts):
+            plan.setdefault(height, []).append((profile.name, counts[height]))
+    return plan

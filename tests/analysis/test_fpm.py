@@ -1,0 +1,96 @@
+"""Tests for the BMT endpoint-count model, including model-vs-measured."""
+
+import pytest
+
+from repro.analysis.fpm import (
+    expected_endpoints,
+    expected_failed_leaves,
+    layer_fill_ratio,
+)
+from repro.bloom.filter import BloomFilter
+from repro.merkle.bmt import BmtTree
+
+
+class TestLayerFill:
+    def test_layer_zero_is_block_fill(self):
+        from repro.bloom.params import fill_ratio_estimate
+
+        assert layer_fill_ratio(0, 50, 4096, 3) == fill_ratio_estimate(
+            50, 4096, 3
+        )
+
+    def test_monotone_in_layer(self):
+        fills = [layer_fill_ratio(j, 50, 4096, 3) for j in range(8)]
+        assert fills == sorted(fills)
+
+    def test_negative_layer_rejected(self):
+        with pytest.raises(ValueError):
+            layer_fill_ratio(-1, 50, 4096, 3)
+
+
+class TestExpectedEndpoints:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            expected_endpoints(6, 50, 4096, 3)
+
+    def test_saturated_filters_give_all_leaves(self):
+        """If even per-block filters always fail, every leaf is an endpoint."""
+        estimate = expected_endpoints(64, 10_000, 64, 2)
+        assert estimate == pytest.approx(64, rel=0.05)
+
+    def test_huge_filters_give_one_endpoint(self):
+        """If the root check succeeds, the root is the only endpoint."""
+        estimate = expected_endpoints(64, 2, 1 << 20, 3)
+        assert estimate == pytest.approx(1.0, abs=0.1)
+
+    def test_matches_simulation(self):
+        """Independence model vs the real BMT, within statistical slack."""
+        num_blocks, items, bits, k = 32, 24, 1024, 3
+        trees = []
+        for trial in range(8):
+            leaves = []
+            for height in range(1, num_blocks + 1):
+                bf = BloomFilter.from_items(
+                    (
+                        f"t{trial}/b{height}/a{i}".encode()
+                        for i in range(items)
+                    ),
+                    bits,
+                    k,
+                )
+                leaves.append((height, bf))
+            trees.append(BmtTree.build(leaves))
+        probes = [f"absent-{i}".encode() for i in range(40)]
+        total = sum(
+            len(tree.find_endpoints(probe))
+            for tree in trees
+            for probe in probes
+        )
+        measured = total / (len(trees) * len(probes))
+        predicted = expected_endpoints(num_blocks, items, bits, k)
+        assert measured == pytest.approx(predicted, rel=0.35)
+
+    def test_u_shape_in_segment_length(self):
+        """Fig 16's mechanism: per-block cost at M=1, level costs at
+        huge M; some intermediate M minimizes total endpoints per block."""
+        items, bits, k = 128, 15_360, 3
+
+        def endpoints_per_block(segment_len):
+            return expected_endpoints(segment_len, items, bits, k) / segment_len
+
+        per_block = {m: endpoints_per_block(m) for m in (1, 4, 64, 1024, 4096)}
+        assert per_block[1] == pytest.approx(1.0, abs=0.01)
+        best = min(per_block.values())
+        assert best < per_block[1]
+        assert per_block[64] < per_block[1]
+
+
+class TestExpectedFailedLeaves:
+    def test_proportional_to_blocks(self):
+        one = expected_failed_leaves(1, 100, 2048, 3)
+        many = expected_failed_leaves(512, 100, 2048, 3)
+        assert many == pytest.approx(512 * one)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_failed_leaves(0, 100, 2048, 3)

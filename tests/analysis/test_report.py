@@ -1,0 +1,61 @@
+"""Tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.analysis.report import format_bytes, render_series, render_table
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [
+            (0, "0B"),
+            (512, "512B"),
+            (1024, "1.00KB"),
+            (10 * 1024, "10.00KB"),
+            (1536, "1.50KB"),
+            (1024**2, "1.00MB"),
+            (843.22 * 1024**2, "843.22MB"),
+            (2 * 1024**3, "2.00GB"),
+        ],
+    )
+    def test_units(self, size, expected):
+        assert format_bytes(size) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "v"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        widths = {len(line.rstrip()) <= len(lines[1]) for line in lines}
+        assert widths == {True}
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert text.splitlines()[0] == "a"
+
+
+class TestRenderSeries:
+    def test_shape(self):
+        text = render_series(
+            "x", [1, 2], [[10, 20], [30, 40]], ["s1", "s2"]
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["x", "s1", "s2"]
+        assert lines[2].split() == ["1", "10", "30"]
+        assert lines[3].split() == ["2", "20", "40"]
+
+    def test_mismatched_labels_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1], [[1]], ["a", "b"])

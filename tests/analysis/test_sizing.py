@@ -1,0 +1,92 @@
+"""Tests for the sizing/scaling helpers."""
+
+import pytest
+
+from repro.analysis.sizing import (
+    PAPER_ADDRESSES_PER_BLOCK,
+    header_overhead_per_block,
+    paper_equivalent_bf_bytes,
+    predicted_absent_result_bytes,
+    storage_table,
+)
+from repro.chain.block import BASE_HEADER_SIZE
+
+
+class TestPaperEquivalentBf:
+    def test_full_scale_identity(self):
+        assert paper_equivalent_bf_bytes(10, PAPER_ADDRESSES_PER_BLOCK) == 10 * 1024
+
+    def test_preserves_bits_per_element(self):
+        ours = paper_equivalent_bf_bytes(10, 128)
+        paper_ratio = 10 * 1024 * 8 / PAPER_ADDRESSES_PER_BLOCK
+        our_ratio = ours * 8 / 128
+        assert our_ratio == pytest.approx(paper_ratio, rel=0.1)
+
+    def test_word_aligned(self):
+        for kib in (10, 30, 100, 500):
+            assert paper_equivalent_bf_bytes(kib, 100) % 64 == 0
+
+    def test_monotone(self):
+        sizes = [paper_equivalent_bf_bytes(kib, 128) for kib in (10, 30, 100, 500)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] >= 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paper_equivalent_bf_bytes(0, 100)
+        with pytest.raises(ValueError):
+            paper_equivalent_bf_bytes(10, 0)
+
+
+class TestPredictedResultSize:
+    def test_scales_with_endpoints(self):
+        # Bigger filters (fewer endpoints) should not explode the estimate.
+        small = predicted_absent_result_bytes(256, 256, 50, 512, 3)
+        assert small > 0
+
+    def test_more_blocks_more_bytes(self):
+        a = predicted_absent_result_bytes(64, 64, 50, 512, 3)
+        b = predicted_absent_result_bytes(512, 512, 50, 512, 3)
+        assert b > a
+
+    def test_matches_measurement_within_factor(self, workload):
+        """Model vs the real LVQ result for the absent probe: same order
+        of magnitude (the model is explanatory, not byte-exact)."""
+        from repro.query.builder import build_system
+        from repro.query.config import SystemConfig
+        from repro.query.prover import answer_query
+
+        config = SystemConfig.lvq(bf_bytes=192, segment_len=16)
+        system = build_system(workload.bodies, config)
+        address = workload.probe_addresses["Addr1"]
+        measured = answer_query(system, address).size_bytes(config)
+        # Estimate items per block from the chain itself.
+        items = len(system.chain.block_at(5).unique_addresses())
+        predicted = predicted_absent_result_bytes(
+            system.tip_height, 16, items, config.bf_bytes, config.num_hashes
+        )
+        assert predicted / 4 < measured < predicted * 4
+
+
+class TestStorageTable:
+    def test_rows(self, lvq_system, strawman_system):
+        rows = storage_table(
+            [
+                ("lvq", lvq_system.headers()),
+                ("strawman", strawman_system.headers()),
+            ]
+        )
+        by_name = {row["system"]: row for row in rows}
+        assert by_name["lvq"]["per_block_overhead"] == 64
+        assert by_name["strawman"]["per_block_overhead"] == 32
+        assert by_name["lvq"]["vs_bitcoin"] == pytest.approx(144 / 80)
+
+    def test_header_overhead(self, lvq_system):
+        header = lvq_system.headers()[1]
+        assert header_overhead_per_block(header) == header.size_bytes() - (
+            BASE_HEADER_SIZE
+        )
+
+    def test_empty_headers(self):
+        rows = storage_table([("empty", [])])
+        assert rows[0]["total_bytes"] == 0

@@ -1,0 +1,134 @@
+"""Unit tests for repro.bloom.bitarray."""
+
+import pytest
+
+from repro.bloom.bitarray import BitArray
+from repro.errors import EncodingError
+
+
+class TestConstruction:
+    def test_starts_empty(self):
+        bits = BitArray(64)
+        assert bits.popcount() == 0
+        assert bits.fill_ratio() == 0.0
+
+    @pytest.mark.parametrize("size", [0, -8])
+    def test_nonpositive_size_rejected(self, size):
+        with pytest.raises(ValueError):
+            BitArray(size)
+
+    def test_unaligned_size_rejected(self):
+        with pytest.raises(ValueError):
+            BitArray(12)
+
+    def test_oversized_value_rejected(self):
+        with pytest.raises(ValueError):
+            BitArray(8, 1 << 9)
+
+    def test_from_bytes_empty_rejected(self):
+        with pytest.raises(EncodingError):
+            BitArray.from_bytes(b"")
+
+
+class TestBitOps:
+    def test_set_get_clear(self):
+        bits = BitArray(64)
+        bits.set(17)
+        assert bits.get(17)
+        assert not bits.get(16)
+        bits.clear(17)
+        assert not bits.get(17)
+
+    def test_set_idempotent(self):
+        bits = BitArray(16)
+        bits.set(3)
+        bits.set(3)
+        assert bits.popcount() == 1
+
+    @pytest.mark.parametrize("index", [-1, 64, 1000])
+    def test_out_of_range(self, index):
+        bits = BitArray(64)
+        with pytest.raises(IndexError):
+            bits.get(index)
+        with pytest.raises(IndexError):
+            bits.set(index)
+
+    def test_len(self):
+        assert len(BitArray(128)) == 128
+        assert BitArray(128).size_bytes == 16
+
+
+class TestSetAlgebra:
+    def test_or_unions(self):
+        a, b = BitArray(32), BitArray(32)
+        a.set(1)
+        b.set(2)
+        merged = a | b
+        assert merged.get(1) and merged.get(2)
+        assert a.popcount() == 1  # inputs untouched
+
+    def test_ior_in_place(self):
+        a, b = BitArray(32), BitArray(32)
+        b.set(5)
+        a.ior(b)
+        assert a.get(5)
+
+    def test_and_intersects(self):
+        a, b = BitArray(32), BitArray(32)
+        a.set(1)
+        a.set(2)
+        b.set(2)
+        assert (a & b).popcount() == 1
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BitArray(32) | BitArray(64)
+
+    def test_is_subset_of(self):
+        small, big = BitArray(32), BitArray(32)
+        small.set(3)
+        big.set(3)
+        big.set(7)
+        assert small.is_subset_of(big)
+        assert not big.is_subset_of(small)
+
+    def test_covers_positions(self):
+        bits = BitArray(32)
+        for index in (1, 2, 3):
+            bits.set(index)
+        assert bits.covers_positions([1, 3])
+        assert not bits.covers_positions([1, 4])
+        assert bits.covers_positions([])  # vacuously true
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        bits = BitArray(64)
+        for index in (0, 7, 8, 63):
+            bits.set(index)
+        assert BitArray.from_bytes(bits.to_bytes()) == bits
+
+    def test_byte_layout_bip37(self):
+        bits = BitArray(16)
+        bits.set(0)
+        bits.set(9)
+        payload = bits.to_bytes()
+        assert payload[0] == 0b0000_0001
+        assert payload[1] == 0b0000_0010
+
+    def test_serialized_length(self):
+        assert len(BitArray(256).to_bytes()) == 32
+
+    def test_copy_is_independent(self):
+        bits = BitArray(16)
+        clone = bits.copy()
+        clone.set(3)
+        assert not bits.get(3)
+
+    def test_equality_and_hash(self):
+        a, b = BitArray(16), BitArray(16)
+        a.set(1)
+        b.set(1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != BitArray(16)

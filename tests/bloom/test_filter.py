@@ -1,0 +1,145 @@
+"""Unit tests for repro.bloom.filter."""
+
+import pytest
+
+from repro.bloom.filter import BloomFilter, bloom_positions
+from repro.errors import EncodingError
+
+
+class TestPositions:
+    def test_deterministic(self):
+        assert bloom_positions(b"addr", 5, 1024) == bloom_positions(
+            b"addr", 5, 1024
+        )
+
+    def test_item_sensitivity(self):
+        assert bloom_positions(b"a", 5, 1024) != bloom_positions(b"b", 5, 1024)
+
+    def test_count(self):
+        assert len(bloom_positions(b"x", 7, 256)) == 7
+
+    def test_in_range(self):
+        assert all(0 <= p < 64 for p in bloom_positions(b"x", 10, 64))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            bloom_positions(b"x", 0, 64)
+        with pytest.raises(ValueError):
+            bloom_positions(b"x", 3, 0)
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(256, 3)
+        items = [f"item-{i}".encode() for i in range(20)]
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(256, 3)
+        assert b"anything" not in bloom
+
+    def test_check_fails_alias(self):
+        bloom = BloomFilter(256, 3)
+        bloom.add(b"x")
+        assert bloom.check_fails(b"x")
+        assert not bloom.check_fails(b"definitely-absent-item")
+
+    def test_num_items_tracks_adds(self):
+        bloom = BloomFilter(256, 3)
+        bloom.add(b"a")
+        bloom.add(b"a")
+        assert bloom.num_items == 2
+
+
+class TestUnion:
+    def test_union_covers_both(self):
+        a = BloomFilter(256, 3)
+        b = BloomFilter(256, 3)
+        a.add(b"left")
+        b.add(b"right")
+        merged = a | b
+        assert b"left" in merged and b"right" in merged
+
+    def test_union_bits_are_or(self):
+        a = BloomFilter(256, 3)
+        b = BloomFilter(256, 3)
+        a.add(b"left")
+        b.add(b"right")
+        assert (a | b).bits == (a.bits | b.bits)
+
+    def test_union_counts_items(self):
+        a = BloomFilter(256, 3)
+        b = BloomFilter(256, 3)
+        a.add(b"x")
+        b.add(b"y")
+        b.add(b"z")
+        assert (a | b).num_items == 3
+
+    def test_incompatible_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(256, 3).union(BloomFilter(512, 3))
+        with pytest.raises(ValueError):
+            BloomFilter(256, 3).union(BloomFilter(256, 4))
+
+    def test_union_is_commutative(self):
+        a = BloomFilter(128, 2)
+        b = BloomFilter(128, 2)
+        a.add(b"1")
+        b.add(b"2")
+        assert (a | b) == (b | a)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        bloom = BloomFilter(256, 3)
+        for i in range(10):
+            bloom.add(f"i{i}".encode())
+        restored = BloomFilter.from_bytes(bloom.to_bytes(), 3)
+        assert restored == bloom
+        assert all(f"i{i}".encode() in restored for i in range(10))
+
+    def test_serialized_size_is_exact(self):
+        assert len(BloomFilter(8 * 37, 3).to_bytes()) == 37
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(EncodingError):
+            BloomFilter.from_bytes(b"", 3)
+
+    def test_from_items(self):
+        items = [b"a", b"b", b"c"]
+        bloom = BloomFilter.from_items(items, 256, 3)
+        assert all(item in bloom for item in items)
+        assert bloom.num_items == 3
+
+    def test_from_bits_copies(self):
+        original = BloomFilter(64, 2)
+        original.add(b"x")
+        derived = BloomFilter.from_bits(original.bits, 2)
+        derived.add(b"y")
+        assert b"y" not in original or original.bits != derived.bits
+
+
+class TestStatistics:
+    def test_fill_ratio_grows(self):
+        bloom = BloomFilter(512, 3)
+        previous = bloom.fill_ratio()
+        for i in range(30):
+            bloom.add(f"item-{i}".encode())
+            current = bloom.fill_ratio()
+            assert current >= previous
+            previous = current
+
+    def test_false_positive_rate_observable(self):
+        """A deliberately tiny filter must show false positives."""
+        bloom = BloomFilter(32, 2)
+        for i in range(30):
+            bloom.add(f"member-{i}".encode())
+        probes = [f"absent-{i}".encode() for i in range(200)]
+        false_positives = sum(probe in bloom for probe in probes)
+        assert false_positives > 0  # essentially saturated
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(256, 0)

@@ -1,0 +1,104 @@
+"""Unit tests for the analytic Bloom filter models."""
+
+import math
+
+import pytest
+
+from repro.bloom.filter import BloomFilter
+from repro.bloom.params import (
+    expected_fpm_count,
+    false_positive_rate,
+    false_positive_rate_for_fill,
+    fill_ratio_estimate,
+    optimal_num_hashes,
+)
+
+
+class TestFillRatio:
+    def test_zero_items(self):
+        assert fill_ratio_estimate(0, 1024, 3) == 0.0
+
+    def test_monotone_in_items(self):
+        values = [fill_ratio_estimate(n, 1024, 3) for n in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+        assert values[-1] > 0.9
+
+    def test_matches_exponential_limit(self):
+        estimate = fill_ratio_estimate(100, 10_000, 3)
+        limit = 1 - math.exp(-3 * 100 / 10_000)
+        assert abs(estimate - limit) < 1e-3
+
+    def test_matches_empirical_fill(self):
+        """The closed form predicts a real filter's fill within a few %."""
+        m, k, n = 4096, 3, 300
+        bloom = BloomFilter(m, k)
+        for i in range(n):
+            bloom.add(f"item-{i}".encode())
+        predicted = fill_ratio_estimate(n, m, k)
+        assert abs(bloom.fill_ratio() - predicted) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fill_ratio_estimate(-1, 1024, 3)
+        with pytest.raises(ValueError):
+            fill_ratio_estimate(1, 0, 3)
+        with pytest.raises(ValueError):
+            fill_ratio_estimate(1, 1024, 0)
+
+
+class TestFalsePositiveRate:
+    def test_zero_items_zero_rate(self):
+        assert false_positive_rate(0, 1024, 3) == 0.0
+
+    def test_monotone_in_items(self):
+        rates = [false_positive_rate(n, 4096, 3) for n in (10, 100, 1000)]
+        assert rates == sorted(rates)
+
+    def test_bounded(self):
+        assert 0.0 <= false_positive_rate(10_000, 64, 3) <= 1.0
+
+    def test_fill_based_form(self):
+        fill = fill_ratio_estimate(100, 1024, 3)
+        assert false_positive_rate(100, 1024, 3) == pytest.approx(
+            false_positive_rate_for_fill(fill, 3)
+        )
+
+    def test_fill_based_validation(self):
+        with pytest.raises(ValueError):
+            false_positive_rate_for_fill(1.5, 3)
+        with pytest.raises(ValueError):
+            false_positive_rate_for_fill(0.5, 0)
+
+
+class TestOptimalK:
+    def test_classic_formula(self):
+        # m/n = 10 bits per element => k* = round(10 ln2) = 7
+        assert optimal_num_hashes(1000, 100) == 7
+
+    def test_at_least_one(self):
+        assert optimal_num_hashes(8, 1000) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_num_hashes(0, 10)
+        with pytest.raises(ValueError):
+            optimal_num_hashes(10, 0)
+
+
+class TestExpectedFpm:
+    def test_papers_challenge2_arithmetic(self):
+        """600k blocks at FPM ~1e-3 gives >600 expected IBs (§IV-A2)."""
+        # Pick a geometry whose per-block FPM is about 1e-3.
+        rate = false_positive_rate(2048, 81920, 3)
+        expected = expected_fpm_count(600_000, 2048, 81920, 3)
+        assert expected == pytest.approx(600_000 * rate)
+        assert expected > 100  # the paper's point: IBs add up fast
+
+    def test_linear_in_blocks(self):
+        one = expected_fpm_count(1, 100, 1024, 3)
+        thousand = expected_fpm_count(1000, 100, 1024, 3)
+        assert thousand == pytest.approx(1000 * one)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_fpm_count(-1, 100, 1024, 3)

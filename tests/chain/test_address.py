@@ -1,0 +1,68 @@
+"""Unit tests for repro.chain.address."""
+
+import pytest
+
+from repro.chain.address import (
+    address_item,
+    is_valid_address,
+    synthetic_address,
+)
+from repro.crypto.encoding import base58check_decode
+
+
+class TestSyntheticAddress:
+    def test_deterministic(self):
+        assert synthetic_address(7) == synthetic_address(7)
+        assert synthetic_address(b"seed") == synthetic_address(b"seed")
+
+    def test_distinct_seeds_distinct_addresses(self):
+        addresses = {synthetic_address(i) for i in range(200)}
+        assert len(addresses) == 200
+
+    def test_int_and_bytes_namespaces(self):
+        # An int seed is its 8-byte little-endian form.
+        assert synthetic_address(1) == synthetic_address(
+            (1).to_bytes(8, "little")
+        )
+
+    def test_starts_with_one(self):
+        """Mainnet P2PKH version byte 0x00 => leading '1', like Table III."""
+        for seed in range(20):
+            assert synthetic_address(seed).startswith("1")
+
+    def test_length_plausible(self):
+        for seed in range(20):
+            assert 25 <= len(synthetic_address(seed)) <= 35
+
+    def test_payload_is_20_bytes(self):
+        _version, payload = base58check_decode(synthetic_address(3))
+        assert len(payload) == 20
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_address(-1)
+
+
+class TestValidation:
+    def test_accepts_generated(self):
+        assert is_valid_address(synthetic_address(11))
+
+    def test_rejects_garbage(self):
+        assert not is_valid_address("not-an-address")
+        assert not is_valid_address("")
+
+    def test_rejects_corrupted_checksum(self):
+        address = synthetic_address(12)
+        tampered = address[:-1] + ("2" if address[-1] != "2" else "3")
+        assert not is_valid_address(tampered)
+
+
+class TestAddressItem:
+    def test_is_utf8_of_string(self):
+        address = synthetic_address(5)
+        assert address_item(address) == address.encode("utf-8")
+
+    def test_distinct_addresses_distinct_items(self):
+        assert address_item(synthetic_address(1)) != address_item(
+            synthetic_address(2)
+        )

@@ -1,0 +1,164 @@
+"""Unit tests for blocks and header extensions."""
+
+import pytest
+
+from repro.bloom.filter import BloomFilter
+from repro.chain.address import synthetic_address
+from repro.chain.block import (
+    BASE_HEADER_SIZE,
+    Block,
+    BlockHeader,
+    BloomExtension,
+    BloomHashExtension,
+    BloomHashSmtExtension,
+    BmtExtension,
+    LvqExtension,
+    NoExtension,
+    build_tx_merkle_tree,
+)
+from repro.chain.transaction import Transaction, TxInput, TxOutput
+from repro.crypto.encoding import ByteReader
+from repro.crypto.hashing import sha256
+
+A1 = synthetic_address(1)
+A2 = synthetic_address(2)
+
+
+def make_block(height=1, extra_tx=True):
+    txs = [Transaction([TxInput.coinbase(height)], [TxOutput(A1, 50)])]
+    if extra_tx:
+        txs.append(
+            Transaction(
+                [TxInput(b"\x22" * 32, 0, A1, 50)],
+                [TxOutput(A2, 30), TxOutput(A1, 20)],
+            )
+        )
+    tree = build_tx_merkle_tree(txs)
+    header = BlockHeader(b"\x00" * 32, tree.root, 1_230_000_000)
+    return Block(header, txs, height)
+
+
+class TestHeaderCore:
+    def test_base_header_is_80_bytes(self):
+        header = BlockHeader(b"\x00" * 32, b"\x01" * 32, 0)
+        assert header.size_bytes() == BASE_HEADER_SIZE
+        assert len(header.serialize()) == 80
+
+    def test_block_id_changes_with_nonce(self):
+        a = BlockHeader(b"\x00" * 32, b"\x01" * 32, 0, nonce=0)
+        b = BlockHeader(b"\x00" * 32, b"\x01" * 32, 0, nonce=1)
+        assert a.block_id() != b.block_id()
+
+    def test_block_id_covers_extension(self):
+        """Linkage authenticates commitments: different roots, different id."""
+        ext_a = LvqExtension(sha256(b"a"), sha256(b"s"))
+        ext_b = LvqExtension(sha256(b"b"), sha256(b"s"))
+        a = BlockHeader(b"\x00" * 32, b"\x01" * 32, 0, ext_a)
+        b = BlockHeader(b"\x00" * 32, b"\x01" * 32, 0, ext_b)
+        assert a.block_id() != b.block_id()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockHeader(b"short", b"\x01" * 32, 0)
+        with pytest.raises(ValueError):
+            BlockHeader(b"\x00" * 32, b"short", 0)
+
+
+class TestExtensions:
+    def test_sizes(self):
+        bf = BloomFilter(8 * 96, 3)
+        assert NoExtension().size_bytes() == 0
+        assert BloomExtension(bf).size_bytes() == 96
+        assert BloomHashExtension(sha256(b"x")).size_bytes() == 32
+        assert LvqExtension(sha256(b"a"), sha256(b"b")).size_bytes() == 64
+        assert (
+            BloomHashSmtExtension(sha256(b"a"), sha256(b"b")).size_bytes() == 64
+        )
+        assert BmtExtension(sha256(b"a")).size_bytes() == 32
+
+    @pytest.mark.parametrize(
+        "extension,kind,bloom_bytes",
+        [
+            (NoExtension(), 0, 0),
+            (BloomHashExtension(sha256(b"h")), 2, 0),
+            (LvqExtension(sha256(b"a"), sha256(b"b")), 3, 0),
+            (BloomHashSmtExtension(sha256(b"a"), sha256(b"b")), 4, 0),
+            (BmtExtension(sha256(b"a")), 5, 0),
+        ],
+    )
+    def test_header_roundtrip(self, extension, kind, bloom_bytes):
+        header = BlockHeader(b"\x00" * 32, b"\x01" * 32, 7, extension)
+        reader = ByteReader(header.serialize())
+        restored = BlockHeader.deserialize(reader, kind, bloom_bytes)
+        reader.finish()
+        assert restored == header
+        assert restored.extension == extension
+
+    def test_bloom_extension_roundtrip(self):
+        bf = BloomFilter(8 * 96, 3)
+        bf.add(b"addr")
+        header = BlockHeader(b"\x00" * 32, b"\x01" * 32, 7, BloomExtension(bf))
+        reader = ByteReader(header.serialize())
+        restored = BlockHeader.deserialize(reader, 1, 96)
+        reader.finish()
+        assert restored.extension.bloom.bits == bf.bits
+
+    def test_lvq_header_is_144_bytes(self):
+        """The paper's point: LVQ headers stay 'dozens of bytes' bigger."""
+        header = BlockHeader(
+            b"\x00" * 32,
+            b"\x01" * 32,
+            0,
+            LvqExtension(sha256(b"a"), sha256(b"b")),
+        )
+        assert header.size_bytes() == 144
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomHashExtension(b"short")
+        with pytest.raises(ValueError):
+            LvqExtension(b"short", sha256(b"b"))
+        with pytest.raises(ValueError):
+            BmtExtension(b"short")
+
+
+class TestBlock:
+    def test_address_counts_per_distinct_tx(self):
+        block = make_block()
+        counts = block.address_counts()
+        assert counts[A1] == 2  # coinbase output + second tx (in+out = once)
+        assert counts[A2] == 1
+
+    def test_unique_addresses_sorted(self):
+        block = make_block()
+        assert block.unique_addresses() == sorted([A1, A2])
+
+    def test_transactions_involving(self):
+        block = make_block()
+        assert len(block.transactions_involving(A1)) == 2
+        assert len(block.transactions_involving(A2)) == 1
+        assert block.transactions_involving(synthetic_address(99)) == []
+
+    def test_body_roundtrip(self):
+        block = make_block()
+        restored = Block.body_from_bytes(block.body_bytes())
+        assert restored == block.transactions
+
+    def test_merkle_tree_matches_header(self):
+        block = make_block()
+        assert block.merkle_tree().root == block.header.merkle_root
+
+    def test_size_bytes(self):
+        block = make_block()
+        assert block.size_bytes() == block.header.size_bytes() + len(
+            block.body_bytes()
+        )
+
+    def test_negative_height_rejected(self):
+        header = BlockHeader(b"\x00" * 32, b"\x01" * 32, 0)
+        with pytest.raises(ValueError):
+            Block(header, [], -1)
+
+    def test_empty_merkle_tree_rejected(self):
+        with pytest.raises(ValueError):
+            build_tx_merkle_tree([])

@@ -1,0 +1,105 @@
+"""Unit tests for the Blockchain container."""
+
+import pytest
+
+from repro.chain.address import synthetic_address
+from repro.chain.block import Block, BlockHeader, build_tx_merkle_tree
+from repro.chain.blockchain import Blockchain, header_storage_bytes
+from repro.chain.transaction import Transaction, TxInput, TxOutput
+from repro.crypto.hashing import HASH_SIZE
+from repro.errors import ChainError
+
+A1 = synthetic_address(1)
+
+
+def make_block(height, prev_hash, merkle_root=None):
+    txs = [Transaction([TxInput.coinbase(height)], [TxOutput(A1, 50)])]
+    tree = build_tx_merkle_tree(txs)
+    header = BlockHeader(
+        prev_hash, merkle_root or tree.root, 1_230_000_000 + height
+    )
+    return Block(header, txs, height)
+
+
+def make_chain(length):
+    chain = Blockchain()
+    prev = b"\x00" * HASH_SIZE
+    for height in range(length):
+        block = make_block(height, prev)
+        chain.append(block)
+        prev = block.header.block_id()
+    return chain
+
+
+class TestAppend:
+    def test_builds_and_links(self):
+        chain = make_chain(5)
+        assert len(chain) == 5
+        assert chain.tip_height == 4
+        for height in range(1, 5):
+            assert (
+                chain.header_at(height).prev_hash
+                == chain.header_at(height - 1).block_id()
+            )
+
+    def test_wrong_height_rejected(self):
+        chain = make_chain(2)
+        orphan = make_block(5, chain.header_at(1).block_id())
+        with pytest.raises(ChainError):
+            chain.append(orphan)
+
+    def test_bad_linkage_rejected(self):
+        chain = make_chain(2)
+        unlinked = make_block(2, b"\xab" * HASH_SIZE)
+        with pytest.raises(ChainError):
+            chain.append(unlinked)
+
+    def test_bad_merkle_root_rejected(self):
+        chain = make_chain(1)
+        bad = make_block(
+            1, chain.header_at(0).block_id(), merkle_root=b"\xcd" * HASH_SIZE
+        )
+        with pytest.raises(ChainError):
+            chain.append(bad)
+
+
+class TestAccess:
+    def test_block_at_bounds(self):
+        chain = make_chain(3)
+        assert chain.block_at(2).height == 2
+        with pytest.raises(ChainError):
+            chain.block_at(3)
+        with pytest.raises(ChainError):
+            chain.block_at(-1)
+
+    def test_empty_chain_has_no_tip(self):
+        with pytest.raises(ChainError):
+            Blockchain().tip_height
+
+    def test_headers_match_blocks(self):
+        chain = make_chain(4)
+        headers = chain.headers()
+        assert len(headers) == 4
+        assert all(
+            headers[h] == chain.block_at(h).header for h in range(4)
+        )
+
+    def test_blocks_range(self):
+        chain = make_chain(6)
+        middle = chain.blocks(2, 4)
+        assert [b.height for b in middle] == [2, 3, 4]
+        assert [b.height for b in chain.blocks()] == list(range(6))
+        with pytest.raises(ChainError):
+            chain.blocks(4, 2)
+        with pytest.raises(ChainError):
+            chain.blocks(0, 6)
+
+    def test_iteration(self):
+        chain = make_chain(3)
+        assert [b.height for b in chain] == [0, 1, 2]
+
+
+class TestStorage:
+    def test_header_storage_bytes(self):
+        chain = make_chain(3)
+        assert header_storage_bytes(chain.headers()) == 3 * 80

@@ -1,0 +1,145 @@
+"""Tests for Algorithm 1 and the segment division — Tables I and II verbatim."""
+
+import pytest
+
+from repro.chain.segments import (
+    covering_spans,
+    is_anchor_for,
+    merge_set,
+    merge_span,
+    segment_spans,
+)
+from repro.errors import ChainError
+
+
+class TestTableI:
+    """The paper's Table I, exactly (segment length >= 8)."""
+
+    @pytest.mark.parametrize(
+        "height,expected",
+        [
+            (1, [1]),
+            (2, [1, 2]),
+            (3, [3]),
+            (4, [1, 2, 3, 4]),
+            (5, [5]),
+            (6, [5, 6]),
+            (7, [7]),
+            (8, [1, 2, 3, 4, 5, 6, 7, 8]),
+        ],
+    )
+    def test_merge_sets(self, height, expected):
+        assert merge_set(height, 8) == expected
+
+    def test_counts_column(self):
+        counts = [len(merge_set(h, 8)) for h in range(1, 9)]
+        assert counts == [1, 2, 1, 4, 1, 2, 1, 8]
+
+
+class TestMergeSpan:
+    def test_segment_cap(self):
+        """With M=4, height 8 merges only its own segment [5,8]."""
+        assert merge_span(8, 4) == (5, 8)
+
+    def test_odd_heights_merge_self(self):
+        for height in (1, 3, 5, 99, 1001):
+            assert merge_span(height, 256) == (height, height)
+
+    def test_segment_boundary_merges_whole_segment(self):
+        assert merge_span(256, 256) == (1, 256)
+        assert merge_span(512, 256) == (257, 512)
+
+    def test_size_is_power_of_two(self):
+        for height in range(1, 300):
+            start, end = merge_span(height, 64)
+            size = end - start + 1
+            assert size & (size - 1) == 0
+            assert end == height
+
+    def test_size_divides_in_segment_position(self):
+        for height in range(1, 300):
+            start, end = merge_span(height, 64)
+            position = height % 64 or 64
+            assert position % (end - start + 1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ChainError):
+            merge_span(0, 8)
+        with pytest.raises(ChainError):
+            merge_span(-3, 8)
+        with pytest.raises(ChainError):
+            merge_span(5, 6)  # M not a power of two
+        with pytest.raises(ChainError):
+            merge_span(5, 0)
+
+
+class TestTableII:
+    """The paper's Table II, exactly (M = 256, heights from 1)."""
+
+    @pytest.mark.parametrize(
+        "tip,expected_tail",
+        [
+            (464, [(257, 384), (385, 448), (449, 464)]),
+            (465, [(257, 384), (385, 448), (449, 464), (465, 465)]),
+            (466, [(257, 384), (385, 448), (449, 464), (465, 466)]),
+        ],
+    )
+    def test_sub_segments(self, tip, expected_tail):
+        spans = segment_spans(tip, 256)
+        assert spans[0] == (1, 256)  # one complete segment first
+        assert spans[1:] == expected_tail
+
+    def test_power_series_lengths(self):
+        # 464 - 256 = 208 = 2^7 + 2^6 + 2^4 as the paper decomposes it.
+        tail = segment_spans(464, 256)[1:]
+        assert [end - start + 1 for start, end in tail] == [128, 64, 16]
+
+
+class TestSegmentSpans:
+    def test_exact_multiple_all_complete(self):
+        spans = segment_spans(512, 256)
+        assert spans == [(1, 256), (257, 512)]
+
+    def test_tiny_chain(self):
+        assert segment_spans(1, 256) == [(1, 1)]
+        assert segment_spans(3, 256) == [(1, 2), (3, 3)]
+
+    def test_zero_blocks(self):
+        assert segment_spans(0, 256) == []
+
+    def test_spans_partition_heights(self):
+        for tip in (1, 7, 64, 100, 255, 256, 257, 464, 1000):
+            spans = segment_spans(tip, 64)
+            covered = [h for start, end in spans for h in range(start, end + 1)]
+            assert covered == list(range(1, tip + 1))
+
+    def test_sub_segment_lengths_descend(self):
+        for tip in (100, 463, 999):
+            spans = segment_spans(tip, 256)
+            tail = [
+                end - start + 1 for start, end in spans if end - start + 1 < 256
+            ]
+            assert tail == sorted(tail, reverse=True)
+
+    def test_negative_tip_rejected(self):
+        with pytest.raises(ChainError):
+            segment_spans(-1, 256)
+
+
+class TestCoveringSpans:
+    def test_anchor_is_segment_end(self):
+        for anchor, start, end in covering_spans(464, 256):
+            assert anchor == end
+            assert merge_span(anchor, 256) == (start, end)
+
+    def test_matches_segment_spans(self):
+        assert [
+            (start, end) for _a, start, end in covering_spans(466, 256)
+        ] == segment_spans(466, 256)
+
+    def test_is_anchor_for(self):
+        assert is_anchor_for(384, 257, 384, 256)
+        assert not is_anchor_for(384, 1, 384, 256)
+        assert not is_anchor_for(383, 257, 383, 256)  # 383 merges only itself
+        assert is_anchor_for(383, 383, 383, 256)
+        assert not is_anchor_for(0, 0, 0, 256)

@@ -1,0 +1,129 @@
+"""Unit tests for repro.chain.transaction."""
+
+import pytest
+
+from repro.chain.address import synthetic_address
+from repro.chain.transaction import (
+    COINBASE_PREV_TXID,
+    Transaction,
+    TxInput,
+    TxOutput,
+)
+from repro.errors import EncodingError
+
+A1 = synthetic_address(1)
+A2 = synthetic_address(2)
+A3 = synthetic_address(3)
+
+
+def simple_tx():
+    return Transaction(
+        [TxInput(b"\x11" * 32, 0, A1, 100)],
+        [TxOutput(A2, 60), TxOutput(A3, 40)],
+    )
+
+
+class TestTxOutput:
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            TxOutput(A1, -1)
+
+    def test_equality(self):
+        assert TxOutput(A1, 5) == TxOutput(A1, 5)
+        assert TxOutput(A1, 5) != TxOutput(A1, 6)
+
+
+class TestTxInput:
+    def test_coinbase_marker(self):
+        coinbase = TxInput.coinbase(42)
+        assert coinbase.is_coinbase
+        assert coinbase.prev_txid == COINBASE_PREV_TXID
+        assert coinbase.address == ""
+        assert coinbase.value == 42  # height makes coinbases unique
+
+    def test_regular_input_not_coinbase(self):
+        assert not TxInput(b"\x11" * 32, 0, A1, 5).is_coinbase
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TxInput(b"short", 0, A1, 5)
+        with pytest.raises(ValueError):
+            TxInput(b"\x11" * 32, -1, A1, 5)
+        with pytest.raises(ValueError):
+            TxInput(b"\x11" * 32, 0, A1, -5)
+
+
+class TestTransaction:
+    def test_txid_deterministic(self):
+        assert simple_tx().txid() == simple_tx().txid()
+
+    def test_txid_differs_on_any_change(self):
+        base = simple_tx()
+        other = Transaction(
+            base.inputs, [TxOutput(A2, 61), TxOutput(A3, 39)]
+        )
+        assert base.txid() != other.txid()
+
+    def test_addresses_ordered_unique(self):
+        tx = Transaction(
+            [TxInput(b"\x11" * 32, 0, A1, 100)],
+            [TxOutput(A2, 50), TxOutput(A1, 50)],  # A1 appears twice
+        )
+        assert tx.addresses() == [A1, A2]
+
+    def test_coinbase_placeholder_excluded(self):
+        tx = Transaction([TxInput.coinbase(1)], [TxOutput(A1, 50)])
+        assert tx.addresses() == [A1]
+        assert tx.is_coinbase
+
+    def test_involves(self):
+        tx = simple_tx()
+        assert tx.involves(A1) and tx.involves(A2) and tx.involves(A3)
+        assert not tx.involves(synthetic_address(99))
+
+    def test_equation1_helpers(self):
+        tx = simple_tx()
+        assert tx.received_by(A2) == 60
+        assert tx.received_by(A1) == 0
+        assert tx.sent_by(A1) == 100
+        assert tx.sent_by(A2) == 0
+
+    def test_needs_inputs_and_outputs(self):
+        with pytest.raises(ValueError):
+            Transaction([], [TxOutput(A1, 1)])
+        with pytest.raises(ValueError):
+            Transaction([TxInput.coinbase(1)], [])
+
+    def test_equality_by_txid(self):
+        assert simple_tx() == simple_tx()
+        assert hash(simple_tx()) == hash(simple_tx())
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        tx = simple_tx()
+        restored = Transaction.from_bytes(tx.serialize())
+        assert restored == tx
+        assert restored.inputs == tx.inputs
+        assert restored.outputs == tx.outputs
+        assert restored.version == tx.version
+
+    def test_coinbase_roundtrip(self):
+        tx = Transaction([TxInput.coinbase(9)], [TxOutput(A1, 50)])
+        assert Transaction.from_bytes(tx.serialize()) == tx
+
+    def test_size_bytes(self):
+        tx = simple_tx()
+        assert tx.size_bytes() == len(tx.serialize())
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(EncodingError):
+            Transaction.from_bytes(simple_tx().serialize() + b"\x00")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(EncodingError):
+            Transaction.from_bytes(simple_tx().serialize()[:-3])
+
+    def test_size_realistic(self):
+        """A 1-in 2-out transaction sits in the ~100-200 byte range."""
+        assert 80 <= simple_tx().size_bytes() <= 220

@@ -1,0 +1,143 @@
+"""Unit tests for UTXO tracking and Equation-1 balances."""
+
+import pytest
+
+from repro.chain.address import synthetic_address
+from repro.chain.transaction import Transaction, TxInput, TxOutput
+from repro.chain.utxo import UtxoSet, balance_from_history
+from repro.errors import ChainError
+
+A1 = synthetic_address(1)
+A2 = synthetic_address(2)
+A3 = synthetic_address(3)
+
+
+def coinbase(height, address, value=50):
+    return Transaction([TxInput.coinbase(height)], [TxOutput(address, value)])
+
+
+class TestUtxoSet:
+    def test_coinbase_creates_outputs(self):
+        utxo = UtxoSet()
+        tx = coinbase(1, A1)
+        utxo.apply_transaction(tx)
+        assert (tx.txid(), 0) in utxo
+        assert utxo.balance(A1) == 50
+
+    def test_spend_moves_value(self):
+        utxo = UtxoSet()
+        mint = coinbase(1, A1)
+        utxo.apply_transaction(mint)
+        spend = Transaction(
+            [TxInput(mint.txid(), 0, A1, 50)],
+            [TxOutput(A2, 30), TxOutput(A1, 20)],
+        )
+        utxo.apply_transaction(spend)
+        assert utxo.balance(A1) == 20
+        assert utxo.balance(A2) == 30
+        assert (mint.txid(), 0) not in utxo
+
+    def test_double_spend_rejected(self):
+        utxo = UtxoSet()
+        mint = coinbase(1, A1)
+        utxo.apply_transaction(mint)
+        spend = Transaction(
+            [TxInput(mint.txid(), 0, A1, 50)], [TxOutput(A2, 50)]
+        )
+        utxo.apply_transaction(spend)
+        with pytest.raises(ChainError):
+            utxo.apply_transaction(
+                Transaction(
+                    [TxInput(mint.txid(), 0, A1, 50)], [TxOutput(A3, 50)]
+                )
+            )
+
+    def test_unknown_outpoint_rejected(self):
+        utxo = UtxoSet()
+        with pytest.raises(ChainError):
+            utxo.apply_transaction(
+                Transaction(
+                    [TxInput(b"\x44" * 32, 0, A1, 50)], [TxOutput(A2, 50)]
+                )
+            )
+
+    def test_lying_input_address_rejected(self):
+        utxo = UtxoSet()
+        mint = coinbase(1, A1)
+        utxo.apply_transaction(mint)
+        with pytest.raises(ChainError):
+            utxo.apply_transaction(
+                Transaction(
+                    [TxInput(mint.txid(), 0, A2, 50)], [TxOutput(A3, 50)]
+                )
+            )
+
+    def test_lying_input_value_rejected(self):
+        utxo = UtxoSet()
+        mint = coinbase(1, A1)
+        utxo.apply_transaction(mint)
+        with pytest.raises(ChainError):
+            utxo.apply_transaction(
+                Transaction(
+                    [TxInput(mint.txid(), 0, A1, 49)], [TxOutput(A3, 49)]
+                )
+            )
+
+    def test_apply_block(self):
+        utxo = UtxoSet()
+        mint = coinbase(1, A1)
+        spend = Transaction(
+            [TxInput(mint.txid(), 0, A1, 50)], [TxOutput(A2, 50)]
+        )
+        utxo.apply_block([mint, spend])  # same-block spend allowed
+        assert utxo.balance(A2) == 50
+
+    def test_outpoints_of(self):
+        utxo = UtxoSet()
+        mint = coinbase(1, A1)
+        utxo.apply_transaction(mint)
+        assert utxo.outpoints_of(A1) == {(mint.txid(), 0): 50}
+        assert utxo.outpoints_of(A2) == {}
+
+    def test_value_of_and_len(self):
+        utxo = UtxoSet()
+        mint = coinbase(1, A1)
+        utxo.apply_transaction(mint)
+        assert utxo.value_of((mint.txid(), 0)) == 50
+        assert len(utxo) == 1
+
+
+class TestEquation1:
+    def test_receive_only(self):
+        history = [coinbase(1, A1), coinbase(2, A1, 25)]
+        assert balance_from_history(A1, history) == 75
+
+    def test_receive_and_spend(self):
+        mint = coinbase(1, A1)
+        spend = Transaction(
+            [TxInput(mint.txid(), 0, A1, 50)],
+            [TxOutput(A2, 30), TxOutput(A1, 20)],
+        )
+        assert balance_from_history(A1, [mint, spend]) == 20
+        assert balance_from_history(A2, [mint, spend]) == 30
+
+    def test_unrelated_transactions_ignored(self):
+        history = [coinbase(1, A1), coinbase(2, A2)]
+        assert balance_from_history(A3, history) == 0
+
+    def test_matches_utxo_view(self):
+        """Equation 1 over full history equals the UTXO set balance."""
+        utxo = UtxoSet()
+        mint1 = coinbase(1, A1)
+        mint2 = coinbase(2, A2)
+        spend = Transaction(
+            [TxInput(mint1.txid(), 0, A1, 50)],
+            [TxOutput(A2, 10), TxOutput(A1, 40)],
+        )
+        history = [mint1, mint2, spend]
+        for tx in history:
+            utxo.apply_transaction(tx)
+        for address in (A1, A2, A3):
+            assert balance_from_history(address, history) == utxo.balance(
+                address
+            )

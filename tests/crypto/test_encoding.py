@@ -1,0 +1,159 @@
+"""Unit tests for repro.crypto.encoding (varints, Base58Check, ByteReader)."""
+
+import pytest
+
+from repro.crypto.encoding import (
+    ByteReader,
+    base58_decode,
+    base58_encode,
+    base58check_decode,
+    base58check_encode,
+    read_varint,
+    varint_size,
+    write_var_bytes,
+    write_varint,
+)
+from repro.errors import EncodingError
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value,encoded",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (0xFC, b"\xfc"),
+            (0xFD, b"\xfd\xfd\x00"),
+            (0xFFFF, b"\xfd\xff\xff"),
+            (0x10000, b"\xfe\x00\x00\x01\x00"),
+            (0xFFFF_FFFF, b"\xfe\xff\xff\xff\xff"),
+            (0x1_0000_0000, b"\xff\x00\x00\x00\x00\x01\x00\x00\x00"),
+        ],
+    )
+    def test_bitcoin_compact_size_vectors(self, value, encoded):
+        assert write_varint(value) == encoded
+        assert read_varint(encoded) == (value, len(encoded))
+
+    @pytest.mark.parametrize(
+        "value", [0, 1, 0xFC, 0xFD, 300, 0xFFFF, 70000, 0xFFFF_FFFF, 2**40]
+    )
+    def test_roundtrip(self, value):
+        encoded = write_varint(value)
+        assert read_varint(encoded) == (value, len(encoded))
+        assert varint_size(value) == len(encoded)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            write_varint(-1)
+        with pytest.raises(EncodingError):
+            varint_size(-5)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            write_varint(2**64)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(EncodingError):
+            read_varint(b"\xfd\x01")
+
+    def test_empty_rejected(self):
+        with pytest.raises(EncodingError):
+            read_varint(b"")
+
+    def test_non_canonical_rejected(self):
+        # 1 encoded in the 3-byte form must be refused.
+        with pytest.raises(EncodingError):
+            read_varint(b"\xfd\x01\x00")
+
+    def test_offset_decoding(self):
+        payload = b"\xaa" + write_varint(300)
+        assert read_varint(payload, 1) == (300, 4)
+
+
+class TestByteReader:
+    def test_sequential_reads(self):
+        reader = ByteReader(b"\x02abXY")
+        assert reader.varint() == 2
+        assert reader.bytes(2) == b"ab"
+        assert reader.bytes(2) == b"XY"
+        reader.finish()
+
+    def test_var_bytes(self):
+        reader = ByteReader(write_var_bytes(b"hello"))
+        assert reader.var_bytes() == b"hello"
+        reader.finish()
+
+    def test_uint_little_endian(self):
+        reader = ByteReader(b"\x01\x02")
+        assert reader.uint(2) == 0x0201
+
+    def test_truncation_raises(self):
+        reader = ByteReader(b"ab")
+        with pytest.raises(EncodingError):
+            reader.bytes(3)
+
+    def test_finish_rejects_trailing(self):
+        reader = ByteReader(b"ab")
+        reader.bytes(1)
+        with pytest.raises(EncodingError):
+            reader.finish()
+
+    def test_remaining(self):
+        reader = ByteReader(b"abcd")
+        reader.bytes(1)
+        assert reader.remaining == 3
+
+
+class TestBase58:
+    @pytest.mark.parametrize(
+        "payload",
+        [b"", b"\x00", b"\x00\x00abc", b"hello world", bytes(range(32))],
+    )
+    def test_roundtrip(self, payload):
+        assert base58_decode(base58_encode(payload)) == payload
+
+    def test_leading_zeros_become_ones(self):
+        assert base58_encode(b"\x00\x00\x01").startswith("11")
+
+    def test_known_vector(self):
+        # Classic test vector from the Bitcoin reference tests.
+        assert base58_encode(bytes.fromhex("73696d706c79206120"
+                                           "6c6f6e6720737472696e67")) == (
+            "2cFupjhnEsSn59qHXstmK2ffpLv2"
+        )
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(EncodingError):
+            base58_decode("0OIl")  # characters excluded from the alphabet
+
+
+class TestBase58Check:
+    def test_roundtrip(self):
+        encoded = base58check_encode(0, b"\x01" * 20)
+        version, payload = base58check_decode(encoded)
+        assert version == 0
+        assert payload == b"\x01" * 20
+
+    def test_version_zero_gives_leading_one(self):
+        assert base58check_encode(0, b"\x02" * 20).startswith("1")
+
+    def test_checksum_detects_typos(self):
+        encoded = base58check_encode(0, b"\x03" * 20)
+        # Swap two distinct characters.
+        chars = list(encoded)
+        i = next(
+            i
+            for i in range(1, len(chars) - 1)
+            if chars[i] != chars[i + 1]
+        )
+        chars[i], chars[i + 1] = chars[i + 1], chars[i]
+        with pytest.raises(EncodingError):
+            base58check_decode("".join(chars))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(EncodingError):
+            base58check_decode("11")
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(EncodingError):
+            base58check_encode(256, b"x")

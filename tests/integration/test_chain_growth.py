@@ -1,0 +1,127 @@
+"""Integration: incremental chain growth and light-node header sync.
+
+The paper's structures are defined per block, so a living chain must be
+able to grow one block at a time: the full node appends blocks (updating
+its BMT forest incrementally), the light node syncs just the new headers,
+and queries over the extended chain keep verifying — including the
+re-shaped covering segments of the new tip (Table II logic moves with the
+chain head).
+"""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.node.transport import InProcessTransport
+from repro.query.builder import build_system
+from repro.query.config import SystemConfig
+from repro.workload.generator import WorkloadParams, generate_workload
+from repro.workload.profiles import ProbeProfile
+
+
+@pytest.fixture()
+def growing_setup():
+    workload = generate_workload(
+        WorkloadParams(
+            num_blocks=24,
+            txs_per_block=8,
+            seed=31,
+            probes=[
+                ProbeProfile("Ghost", 0, 0),
+                ProbeProfile("Busy", 12, 8),
+            ],
+        )
+    )
+    config = SystemConfig.lvq(bf_bytes=192, segment_len=8)
+    return workload, config
+
+
+class TestIncrementalBuild:
+    def test_append_equals_batch_build(self, growing_setup):
+        """A chain grown block-by-block is byte-identical to a batch one."""
+        workload, config = growing_setup
+        batch = build_system(workload.bodies, config)
+        grown = build_system(workload.bodies[:10], config)
+        for body in workload.bodies[10:]:
+            grown.append_block(body)
+        assert grown.tip_height == batch.tip_height
+        for height in range(len(workload.bodies)):
+            assert (
+                grown.headers()[height].serialize()
+                == batch.headers()[height].serialize()
+            )
+
+    def test_queries_keep_verifying_while_growing(self, growing_setup):
+        workload, config = growing_setup
+        system = build_system(workload.bodies[:9], config)
+        full_node = FullNode(system)
+        light_node = LightNode.from_full_node(full_node)
+        busy = workload.probe_addresses["Busy"]
+
+        for next_height in range(9, len(workload.bodies)):
+            history = light_node.query_history(full_node, busy)
+            truth = [
+                (h, tx.txid())
+                for h, tx in workload.history_of(busy)
+                if h <= light_node.tip_height
+            ]
+            assert [
+                (h, tx.txid()) for h, tx in history.transactions
+            ] == truth, f"tip={light_node.tip_height}"
+            full_node.extend_chain([workload.bodies[next_height]])
+            assert light_node.sync_headers(full_node) == 1
+
+        # Final state covers the whole chain.
+        final = light_node.query_history(full_node, busy)
+        assert len(final.transactions) == 12
+
+
+class TestHeaderSync:
+    def test_sync_counts_bytes(self, growing_setup):
+        workload, config = growing_setup
+        system = build_system(workload.bodies[:20], config)
+        full_node = FullNode(system)
+        light_node = LightNode(system.headers()[:12], config)
+        transport = InProcessTransport()
+        accepted = light_node.sync_headers(full_node, transport)
+        assert accepted == 8
+        assert light_node.tip_height == 19
+        # 8 LVQ headers at 144B each plus framing.
+        assert transport.stats.bytes_to_client >= 8 * 144
+
+    def test_sync_is_idempotent(self, growing_setup):
+        workload, config = growing_setup
+        system = build_system(workload.bodies, config)
+        full_node = FullNode(system)
+        light_node = LightNode.from_full_node(full_node)
+        assert light_node.sync_headers(full_node) == 0
+
+    def test_sync_rejects_unlinked_headers(self, growing_setup):
+        """Headers from a different chain cannot be spliced in."""
+        workload, config = growing_setup
+        system = build_system(workload.bodies, config)
+        other_workload = generate_workload(
+            WorkloadParams(num_blocks=24, txs_per_block=8, seed=777)
+        )
+        other = build_system(other_workload.bodies, config)
+        full_node = FullNode(other)
+        light_node = LightNode(system.headers()[:12], config)
+        with pytest.raises(VerificationError):
+            light_node.sync_headers(full_node)
+
+    def test_stale_light_node_rejects_tip_mismatch(self, growing_setup):
+        """A light node that has not synced rejects longer-chain answers
+        (and after syncing accepts them)."""
+        workload, config = growing_setup
+        system = build_system(workload.bodies, config)
+        full_node = FullNode(system)
+        stale = LightNode(system.headers()[:16], config)
+        address = workload.probe_addresses["Busy"]
+        from repro.errors import CompletenessError
+
+        with pytest.raises(CompletenessError):
+            stale.query_history(full_node, address)
+        stale.sync_headers(full_node)
+        history = stale.query_history(full_node, address)
+        assert len(history.transactions) == 12

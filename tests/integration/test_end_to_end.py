@@ -1,0 +1,172 @@
+"""Integration: full protocol flows across systems and chain shapes."""
+
+import pytest
+
+from repro.chain.utxo import UtxoSet, balance_from_history
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.node.transport import InProcessTransport
+from repro.query.builder import build_system
+from repro.query.config import SystemConfig
+from repro.workload.generator import WorkloadParams, generate_workload
+from repro.workload.profiles import ProbeProfile
+
+
+class TestCrossSystemAgreement:
+    def test_all_systems_return_identical_histories(
+        self, workload, probe_addresses
+    ):
+        """Four prototypes, one truth: verified histories must agree."""
+        configs = [
+            SystemConfig.strawman(bf_bytes=96),
+            SystemConfig.lvq_no_bmt(bf_bytes=96),
+            SystemConfig.lvq_no_smt(bf_bytes=192, segment_len=16),
+            SystemConfig.lvq(bf_bytes=192, segment_len=16),
+        ]
+        for address in probe_addresses.values():
+            histories = []
+            for config in configs:
+                system = build_system(workload.bodies, config)
+                full_node = FullNode(system)
+                light_node = LightNode.from_full_node(full_node)
+                history = light_node.query_history(full_node, address)
+                histories.append(
+                    [(h, tx.txid()) for h, tx in history.transactions]
+                )
+            assert all(h == histories[0] for h in histories[1:])
+
+    def test_verified_balance_matches_utxo_set(self, workload, lvq_system):
+        """Eq 1 over a *verified* history equals the consensus balance."""
+        utxo = UtxoSet()
+        for body in workload.bodies:
+            utxo.apply_block(body)
+        full_node = FullNode(lvq_system)
+        light_node = LightNode.from_full_node(full_node)
+        for address in workload.probe_addresses.values():
+            assert light_node.query_balance(full_node, address) == (
+                utxo.balance(address)
+            )
+
+
+class TestChainShapes:
+    """Partial segments of every shape must verify (Table II logic)."""
+
+    @pytest.mark.parametrize("num_blocks", [1, 2, 3, 7, 8, 9, 15, 16, 21])
+    def test_odd_tips_lvq(self, num_blocks):
+        workload = generate_workload(
+            WorkloadParams(
+                num_blocks=num_blocks,
+                txs_per_block=6,
+                seed=77,
+                probes=[
+                    ProbeProfile("Zero", 0, 0),
+                    ProbeProfile("One", 1, 1),
+                ],
+            )
+        )
+        system = build_system(
+            workload.bodies, SystemConfig.lvq(bf_bytes=128, segment_len=8)
+        )
+        full_node = FullNode(system)
+        light_node = LightNode.from_full_node(full_node)
+        for name, address in workload.probe_addresses.items():
+            history = light_node.query_history(full_node, address)
+            truth = workload.history_of(address)
+            assert [(h, t.txid()) for h, t in history.transactions] == [
+                (h, t.txid()) for h, t in truth
+            ], f"tip={num_blocks} probe={name}"
+
+    def test_segment_len_equal_one(self):
+        """M=1 degenerates to per-block single-leaf BMTs and must work."""
+        workload = generate_workload(
+            WorkloadParams(num_blocks=6, txs_per_block=5, seed=3,
+                           probes=[ProbeProfile("One", 1, 1)])
+        )
+        system = build_system(
+            workload.bodies, SystemConfig.lvq(bf_bytes=128, segment_len=1)
+        )
+        full_node = FullNode(system)
+        light_node = LightNode.from_full_node(full_node)
+        address = workload.probe_addresses["One"]
+        history = light_node.query_history(full_node, address)
+        assert len(history.transactions) == 1
+        assert history.num_endpoints == 6  # one endpoint per block
+
+    def test_segment_len_beyond_tip(self):
+        """M larger than the chain: only Table-II sub-segments exist."""
+        workload = generate_workload(
+            WorkloadParams(num_blocks=11, txs_per_block=5, seed=4,
+                           probes=[ProbeProfile("One", 3, 2)])
+        )
+        system = build_system(
+            workload.bodies, SystemConfig.lvq(bf_bytes=128, segment_len=64)
+        )
+        full_node = FullNode(system)
+        light_node = LightNode.from_full_node(full_node)
+        address = workload.probe_addresses["One"]
+        history = light_node.query_history(full_node, address)
+        assert len(history.transactions) == 3
+        # 11 = 8 + 2 + 1 sub-segments
+        result = full_node.query(address)
+        assert [(s.start, s.end) for s in result.segments] == [
+            (1, 8),
+            (9, 10),
+            (11, 11),
+        ]
+
+
+class TestTransportAccounting:
+    def test_response_bytes_match_result_size(
+        self, workload, lvq_system, probe_addresses
+    ):
+        full_node = FullNode(lvq_system)
+        light_node = LightNode.from_full_node(full_node)
+        for address in probe_addresses.values():
+            transport = InProcessTransport()
+            light_node.query_history(full_node, address, transport)
+            expected = 1 + full_node.query(address).size_bytes(
+                lvq_system.config
+            )
+            assert transport.stats.bytes_to_client == expected
+
+    def test_lvq_cheaper_than_strawman_for_inactive_address(
+        self, workload, lvq_system, strawman_system, probe_addresses
+    ):
+        """The paper's headline: orders of magnitude for empty addresses."""
+        address = probe_addresses["Addr1"]
+        sizes = {}
+        for system in (lvq_system, strawman_system):
+            full_node = FullNode(system)
+            light_node = LightNode.from_full_node(full_node)
+            transport = InProcessTransport()
+            light_node.query_history(full_node, address, transport)
+            sizes[system.config.kind.value] = transport.stats.bytes_to_client
+        assert sizes["lvq"] * 3 < sizes["strawman"]
+
+
+class TestCoffeeShopScenario:
+    """The paper's §I motivating example, end to end."""
+
+    def test_merchant_checks_customer_balance(self, workload, lvq_system):
+        full_node = FullNode(lvq_system)
+        merchant = LightNode.from_full_node(full_node)
+        customer = workload.probe_addresses["Addr6"]
+        balance = merchant.query_balance(full_node, customer)
+        expected = balance_from_history(
+            customer, (tx for _h, tx in workload.history_of(customer))
+        )
+        assert balance == expected
+
+    def test_merchant_rejects_lying_full_node(self, workload, lvq_system):
+        from repro.errors import VerificationError
+        from repro.query.adversary import (
+            MaliciousFullNode,
+            omit_one_transaction,
+        )
+
+        liar = MaliciousFullNode(lvq_system, omit_one_transaction)
+        merchant = LightNode(lvq_system.headers(), lvq_system.config)
+        customer = workload.probe_addresses["Addr6"]
+        with pytest.raises(VerificationError):
+            merchant.query_balance(liar, customer)
+        assert liar.last_attack_applied

@@ -1,0 +1,156 @@
+"""Integration checks pinned to the paper's tables and headline claims."""
+
+import pytest
+
+from repro.analysis.sizing import storage_table
+from repro.chain.segments import merge_set, segment_spans
+from repro.query.builder import build_system
+from repro.query.config import SystemConfig
+from repro.query.prover import answer_query
+from repro.workload.generator import WorkloadParams, generate_workload
+from repro.workload.profiles import PAPER_PROBE_PROFILES, scaled_probe_profiles
+
+
+class TestTableI:
+    def test_merge_columns_match_paper(self):
+        expected = {
+            1: [1],
+            2: [1, 2],
+            3: [3],
+            4: [1, 2, 3, 4],
+            5: [5],
+            6: [5, 6],
+            7: [7],
+            8: [1, 2, 3, 4, 5, 6, 7, 8],
+        }
+        for height, blocks in expected.items():
+            assert merge_set(height, 4096) == blocks
+
+
+class TestTableII:
+    def test_divisions_match_paper(self):
+        assert segment_spans(464, 256)[1:] == [
+            (257, 384),
+            (385, 448),
+            (449, 464),
+        ]
+        assert segment_spans(465, 256)[1:] == [
+            (257, 384),
+            (385, 448),
+            (449, 464),
+            (465, 465),
+        ]
+        assert segment_spans(466, 256)[1:] == [
+            (257, 384),
+            (385, 448),
+            (449, 464),
+            (465, 466),
+        ]
+
+
+class TestTableIII:
+    def test_paper_profiles(self):
+        rows = [(p.tx_count, p.block_count) for p in PAPER_PROBE_PROFILES]
+        assert rows == [(0, 0), (1, 1), (10, 5), (60, 44), (324, 289), (929, 410)]
+
+    def test_scaled_workload_reproduces_footprints_exactly(self):
+        """Injected probes hit their Table-III footprint to the block."""
+        num_blocks = 64
+        workload = generate_workload(
+            WorkloadParams(num_blocks=num_blocks, txs_per_block=8, seed=11)
+        )
+        for profile in scaled_probe_profiles(num_blocks):
+            address = workload.probe_addresses[profile.name]
+            assert workload.footprint_of(address) == (
+                profile.tx_count,
+                profile.block_count,
+            )
+
+
+class TestChallenge1Storage:
+    """§IV-A1: strawman headers explode; LVQ stays at 'dozens of bytes'."""
+
+    def test_storage_ordering(self, workload):
+        systems = {
+            "bitcoin-spv-equivalent": None,
+            "strawman-header-bf": SystemConfig.strawman_header_bf(bf_bytes=96),
+            "strawman": SystemConfig.strawman(bf_bytes=96),
+            "lvq": SystemConfig.lvq(bf_bytes=192, segment_len=16),
+        }
+        rows = {}
+        for label, config in systems.items():
+            if config is None:
+                continue
+            built = build_system(workload.bodies, config)
+            [row] = storage_table([(label, built.headers())])
+            rows[label] = row
+        assert rows["strawman-header-bf"]["per_block_overhead"] == 96
+        assert rows["strawman"]["per_block_overhead"] == 32
+        assert rows["lvq"]["per_block_overhead"] == 64
+        # The strawman's overhead scales with the BF (KBs at paper scale);
+        # LVQ's is a constant 64 bytes regardless of filter size.
+        big_bf = build_system(
+            workload.bodies, SystemConfig.strawman_header_bf(bf_bytes=1024)
+        )
+        [big_row] = storage_table([("big", big_bf.headers())])
+        assert big_row["per_block_overhead"] == 1024
+        big_lvq = build_system(
+            workload.bodies, SystemConfig.lvq(bf_bytes=1024, segment_len=16)
+        )
+        [big_lvq_row] = storage_table([("big-lvq", big_lvq.headers())])
+        assert big_lvq_row["per_block_overhead"] == 64
+
+
+class TestFigure12Shape:
+    """The qualitative orderings Fig 12 reports, on the test chain."""
+
+    @pytest.fixture(scope="class")
+    def sizes(self, workload):
+        configs = {
+            "strawman": SystemConfig.strawman(bf_bytes=96),
+            "lvq_no_bmt": SystemConfig.lvq_no_bmt(bf_bytes=96),
+            "lvq_no_smt": SystemConfig.lvq_no_smt(bf_bytes=192, segment_len=16),
+            "lvq": SystemConfig.lvq(bf_bytes=192, segment_len=16),
+        }
+        table = {}
+        for label, config in configs.items():
+            system = build_system(workload.bodies, config)
+            table[label] = {
+                name: answer_query(system, address).size_bytes(config)
+                for name, address in workload.probe_addresses.items()
+            }
+        return table
+
+    def test_lvq_wins_for_sparse_addresses(self, sizes):
+        """'size of query result in LVQ is only 1.39% of the strawman'
+        for the inexistent address; big wins persist while activity is
+        sparse."""
+        assert sizes["lvq"]["Addr1"] * 3 < sizes["strawman"]["Addr1"]
+        assert sizes["lvq"]["Addr1"] * 3 < sizes["lvq_no_bmt"]["Addr1"]
+        assert sizes["lvq"]["Addr2"] < sizes["strawman"]["Addr2"]
+        assert sizes["lvq"]["Addr3"] < sizes["strawman"]["Addr3"]
+
+    def test_no_smt_declines_for_busy_addresses(self, sizes):
+        """LVQ-no-SMT ships integral blocks for every active block and
+        'declines dramatically in the case of plentiful transactions'."""
+        assert sizes["lvq_no_smt"]["Addr5"] > 2 * sizes["lvq"]["Addr5"]
+        assert sizes["lvq_no_smt"]["Addr6"] > 1.5 * sizes["lvq"]["Addr6"]
+
+    def test_no_smt_fine_for_sparse_addresses(self, sizes):
+        assert sizes["lvq_no_smt"]["Addr1"] == sizes["lvq"]["Addr1"]
+        assert sizes["lvq_no_smt"]["Addr2"] < sizes["strawman"]["Addr2"] * 1.2
+
+    def test_no_bmt_tracks_strawman(self, sizes):
+        """'its result size increases modestly': both share the per-block
+        BF floor; SMT branches add a little on active blocks while saving
+        an integral block wherever the strawman hits an FPM."""
+        bf_floor = 48 * 96  # blocks x filter bytes, shipped by both
+        for name in sizes["lvq_no_bmt"]:
+            assert sizes["lvq_no_bmt"][name] >= bf_floor
+            assert sizes["strawman"][name] >= bf_floor
+            assert sizes["lvq_no_bmt"][name] < sizes["strawman"][name] * 2.0
+
+    def test_no_bmt_edges_out_lvq_for_busy_addresses(self, sizes):
+        """'LVQ without BMT maintains a small advantage over LVQ for
+        Addr5 and Addr6' (its BFs are smaller)."""
+        assert sizes["lvq_no_bmt"]["Addr6"] < sizes["lvq"]["Addr6"] * 1.3

@@ -1,0 +1,139 @@
+"""Integration: light-node chain reorganization handling.
+
+Two full nodes share a common prefix and diverge; the light node follows
+the longest fork (height as work proxy — this simulation has no PoW) and
+refuses shorter or broken alternatives.  After the switch, queries
+against the new fork verify and reflect its history.
+"""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.query.builder import build_system
+from repro.query.config import SystemConfig
+from repro.workload.generator import WorkloadParams, generate_workload
+from repro.workload.profiles import ProbeProfile
+
+CONFIG = SystemConfig.lvq(bf_bytes=192, segment_len=8)
+
+
+@pytest.fixture(scope="module")
+def forked_chains():
+    """Chain A (shorter) and chain B (longer) sharing a 12-block prefix."""
+    base = generate_workload(
+        WorkloadParams(
+            num_blocks=20,
+            txs_per_block=6,
+            seed=55,
+            probes=[ProbeProfile("P", 8, 6)],
+        )
+    )
+    alt = generate_workload(
+        WorkloadParams(
+            num_blocks=26,
+            txs_per_block=6,
+            seed=56,
+            probes=[ProbeProfile("P", 8, 6)],
+        )
+    )
+    prefix = base.bodies[:13]  # genesis + heights 1..12
+    bodies_a = prefix + base.bodies[13:21]  # tip 20
+    bodies_b = prefix + alt.bodies[13:27]  # tip 26 (longer)
+    system_a = build_system(bodies_a, CONFIG)
+    system_b = build_system(bodies_b, CONFIG)
+    return base, system_a, system_b
+
+
+class TestForkDetection:
+    def test_shared_prefix_identical(self, forked_chains):
+        _base, system_a, system_b = forked_chains
+        for height in range(13):
+            assert (
+                system_a.headers()[height].block_id()
+                == system_b.headers()[height].block_id()
+            )
+        assert (
+            system_a.headers()[13].block_id()
+            != system_b.headers()[13].block_id()
+        )
+
+    def test_plain_sync_rejects_divergent_peer(self, forked_chains):
+        _base, system_a, system_b = forked_chains
+        light = LightNode(system_a.headers()[:16], CONFIG)
+        with pytest.raises(VerificationError):
+            light.sync_headers(FullNode(system_b))
+
+
+class TestReorg:
+    def test_adopts_longer_fork(self, forked_chains):
+        _base, system_a, system_b = forked_chains
+        light = LightNode(system_a.headers(), CONFIG)  # fully on A
+        replaced, appended = light.sync_with_reorg(FullNode(system_b))
+        assert replaced == 8  # heights 13..20 of A discarded
+        assert appended == 14  # heights 13..26 of B adopted
+        assert light.tip_height == 26
+        assert (
+            light.headers[-1].block_id()
+            == system_b.headers()[-1].block_id()
+        )
+
+    def test_queries_verify_after_reorg(self, forked_chains):
+        _base, system_a, system_b = forked_chains
+        light = LightNode(system_a.headers(), CONFIG)
+        light.sync_with_reorg(FullNode(system_b))
+        # Probe address from the shared-prefix workload still resolves.
+        full_b = FullNode(system_b)
+        for height in (3, 7, 11):
+            block = system_b.chain.block_at(height)
+            address = block.unique_addresses()[0]
+            history = light.query_history(full_b, address)
+            assert any(h == height for h, _tx in history.transactions)
+
+    def test_refuses_shorter_fork(self, forked_chains):
+        _base, system_a, system_b = forked_chains
+        light = LightNode(system_b.headers(), CONFIG)  # on the long fork
+        with pytest.raises(VerificationError):
+            light.sync_with_reorg(FullNode(system_a))
+        assert light.tip_height == 26  # unchanged
+
+    def test_equal_length_fork_is_kept_out(self, forked_chains):
+        """An equal-length fork can never displace ours: the beyond-tip
+        sync returns nothing new and the adoption rule demands a strictly
+        longer chain, so our tip stays put."""
+        base, system_a, _system_b = forked_chains
+        other = generate_workload(
+            WorkloadParams(
+                num_blocks=20,
+                txs_per_block=6,
+                seed=99,
+                probes=[ProbeProfile("P", 8, 6)],
+            )
+        )
+        bodies_c = base.bodies[:13] + other.bodies[13:21]
+        system_c = build_system(bodies_c, CONFIG)
+        light = LightNode(system_a.headers(), CONFIG)
+        tip_before = light.headers[-1].block_id()
+        replaced, appended = light.sync_with_reorg(FullNode(system_c))
+        assert (replaced, appended) == (0, 0)
+        assert light.headers[-1].block_id() == tip_before
+
+    def test_refuses_foreign_genesis(self, forked_chains):
+        """A peer whose chain does not share our first header is rejected
+        even when longer."""
+        _base, system_a, system_b = forked_chains
+        # A light node whose header list starts mid-chain models a client
+        # anchored on a checkpoint the peer's chain does not contain.
+        anchored = LightNode(system_a.headers()[5:], CONFIG)
+        with pytest.raises(VerificationError):
+            anchored.sync_with_reorg(FullNode(system_b))
+
+    def test_noop_when_peer_is_extension(self, forked_chains):
+        """A peer that simply has more of *our* chain is a plain sync."""
+        _base, _system_a, system_b = forked_chains
+        light = LightNode(system_b.headers()[:20], CONFIG)
+        replaced, appended = light.sync_with_reorg(FullNode(system_b))
+        assert replaced == 0
+        assert appended == 7
+        assert light.tip_height == 26

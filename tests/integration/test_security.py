@@ -1,0 +1,103 @@
+"""Security fuzzing: random bit-level corruption of wire responses.
+
+The strongest practical statement of §VI: take an honest serialized
+response, corrupt it at random positions, and feed it to the light node.
+Every outcome must be either a decode/verification failure or a history
+byte-identical to the honest one (corrupting true don't-care padding is
+impossible here because every byte of the format is load-bearing, but the
+property is stated defensively).
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.node.light_node import LightNode
+from repro.query.prover import answer_query
+from repro.query.result import QueryResult
+
+
+def _history_fingerprint(history):
+    return [(height, tx.txid()) for height, tx in history.transactions]
+
+
+@pytest.mark.parametrize("probe_name", ["Addr1", "Addr3", "Addr6"])
+def test_random_corruption_never_changes_accepted_history(
+    workload, any_system, probe_addresses, probe_name
+):
+    system = any_system
+    address = probe_addresses[probe_name]
+    config = system.config
+    light_node = LightNode(system.headers(), config)
+
+    honest = answer_query(system, address)
+    honest_payload = honest.serialize(config)
+    honest_history = _history_fingerprint(light_node.verify(honest, address))
+
+    rng = random.Random(0xC0FFEE)
+    rejected = 0
+    trials = 60
+    for _ in range(trials):
+        corrupted = bytearray(honest_payload)
+        for _flip in range(rng.randint(1, 3)):
+            position = rng.randrange(len(corrupted))
+            corrupted[position] ^= 1 << rng.randrange(8)
+        if bytes(corrupted) == honest_payload:
+            continue
+        try:
+            result = QueryResult.deserialize(bytes(corrupted), config)
+            history = light_node.verify(result, address)
+        except ReproError:
+            rejected += 1
+            continue
+        # Accepted: must be observationally identical to the honest answer.
+        assert _history_fingerprint(history) == honest_history
+    # Sanity: corruption is not being silently swallowed wholesale.
+    assert rejected > trials // 2
+
+
+def test_truncated_responses_rejected(lvq_system, probe_addresses):
+    config = lvq_system.config
+    light_node = LightNode(lvq_system.headers(), config)
+    address = probe_addresses["Addr6"]
+    payload = answer_query(lvq_system, address).serialize(config)
+    for cut in (1, len(payload) // 2, len(payload) - 1):
+        with pytest.raises(ReproError):
+            result = QueryResult.deserialize(payload[:cut], config)
+            light_node.verify(result, address)
+
+
+def test_response_for_other_address_rejected(lvq_system, probe_addresses):
+    """Replaying a (valid!) response for a different address must fail."""
+    light_node = LightNode(lvq_system.headers(), lvq_system.config)
+    result = answer_query(lvq_system, probe_addresses["Addr2"])
+    from repro.errors import VerificationError
+
+    with pytest.raises(VerificationError):
+        light_node.verify(result, probe_addresses["Addr1"])
+
+
+def test_cross_chain_replay_rejected(workload, probe_addresses):
+    """A valid LVQ response from one chain fails on another chain's
+    headers (different seeds => different commitments)."""
+    from repro.errors import VerificationError
+    from repro.query.builder import build_system
+    from repro.query.config import SystemConfig
+    from repro.workload.generator import WorkloadParams, generate_workload
+
+    config = SystemConfig.lvq(bf_bytes=192, segment_len=16)
+    system_a = build_system(workload.bodies, config)
+    other_workload = generate_workload(
+        WorkloadParams(
+            num_blocks=len(workload.bodies) - 1,
+            txs_per_block=10,
+            seed=4242,
+            probes=workload.probe_profiles,
+        )
+    )
+    system_b = build_system(other_workload.bodies, config)
+    result = answer_query(system_a, probe_addresses["Addr4"])
+    light_node_b = LightNode(system_b.headers(), config)
+    with pytest.raises(VerificationError):
+        light_node_b.verify(result, probe_addresses["Addr4"])

@@ -1,0 +1,218 @@
+"""Unit tests for the Sorted Merkle Tree (SMT)."""
+
+import pytest
+
+from repro.crypto.encoding import ByteReader
+from repro.errors import EncodingError, ProofError, VerificationError
+from repro.merkle.sorted_tree import (
+    SMT_SENTINEL,
+    SmtBranch,
+    SmtInexistenceProof,
+    SmtLeaf,
+    SortedMerkleTree,
+)
+
+
+def tree_from(pairs):
+    return SortedMerkleTree([SmtLeaf(a, c) for a, c in pairs])
+
+
+@pytest.fixture()
+def sample():
+    return tree_from(
+        [("1abc", 2), ("1bcd", 1), ("1def", 5), ("1xyz", 1), ("3aaa", 3)]
+    )
+
+
+class TestConstruction:
+    def test_padding_to_power_of_two(self, sample):
+        assert sample.num_real_leaves == 5
+        assert sample.num_leaves == 8
+        assert sample.leaf(5).is_sentinel
+
+    def test_exact_power_of_two_not_padded(self):
+        tree = tree_from([("a", 1), ("b", 1), ("c", 1), ("d", 1)])
+        assert tree.num_leaves == 4
+        assert not tree.leaf(3).is_sentinel
+
+    def test_empty_block_is_single_sentinel(self):
+        tree = SortedMerkleTree([])
+        assert tree.num_leaves == 1
+        assert tree.leaf(0).is_sentinel
+        assert tree.depth == 0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            tree_from([("b", 1), ("a", 1)])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            tree_from([("a", 1), ("a", 2)])
+
+    def test_explicit_sentinel_rejected(self):
+        with pytest.raises(ValueError):
+            SortedMerkleTree([SmtLeaf.sentinel()])
+
+    def test_from_counts_sorts(self):
+        tree = SortedMerkleTree.from_counts({"b": 1, "a": 2})
+        assert tree.leaf(0).address == "a"
+        assert tree.count_of("a") == 2
+
+    def test_root_sensitive_to_counts(self):
+        assert (
+            tree_from([("a", 1)]).root != tree_from([("a", 2)]).root
+        )
+
+    def test_membership(self, sample):
+        assert "1abc" in sample
+        assert "1zzz" not in sample
+        assert SMT_SENTINEL not in sample
+        assert sample.count_of("1def") == 5
+        assert sample.count_of("nope") == 0
+
+
+class TestExistenceProofs:
+    def test_all_leaves_provable(self, sample):
+        for address in ("1abc", "1bcd", "1def", "1xyz", "3aaa"):
+            branch = sample.prove_existence(address)
+            assert branch.verify(sample.root)
+            assert branch.leaf.address == address
+
+    def test_count_travels_with_proof(self, sample):
+        branch = sample.prove_existence("1def")
+        assert branch.leaf.count == 5
+
+    def test_absent_address_rejected(self, sample):
+        with pytest.raises(ProofError):
+            sample.prove_existence("absent")
+
+    def test_forged_count_fails(self, sample):
+        branch = sample.prove_existence("1abc")
+        forged = SmtBranch(
+            SmtLeaf("1abc", 99), branch.leaf_index, branch.siblings
+        )
+        assert not forged.verify(sample.root)
+
+    def test_forged_address_fails(self, sample):
+        branch = sample.prove_existence("1abc")
+        forged = SmtBranch(
+            SmtLeaf("1abd", 2), branch.leaf_index, branch.siblings
+        )
+        assert not forged.verify(sample.root)
+
+    def test_serialization_roundtrip(self, sample):
+        branch = sample.prove_existence("1xyz")
+        reader = ByteReader(branch.serialize())
+        restored = SmtBranch.deserialize(reader)
+        reader.finish()
+        assert restored == branch
+        assert restored.verify(sample.root)
+
+
+class TestInexistenceProofs:
+    def test_interior_gap(self, sample):
+        proof = sample.prove_inexistence("1c")  # between 1bcd and 1def
+        proof.verify(sample.root, "1c")
+        assert proof.predecessor.leaf.address == "1bcd"
+        assert proof.successor.leaf.address == "1def"
+
+    def test_before_first_leaf(self, sample):
+        proof = sample.prove_inexistence("0zzz")
+        proof.verify(sample.root, "0zzz")
+        assert proof.predecessor is None
+        assert proof.successor.leaf_index == 0
+
+    def test_after_last_real_leaf_uses_sentinel(self, sample):
+        proof = sample.prove_inexistence("9zzz")
+        proof.verify(sample.root, "9zzz")
+        assert proof.successor.leaf.is_sentinel
+
+    def test_full_tree_right_edge(self):
+        tree = tree_from([("a", 1), ("b", 1), ("c", 1), ("d", 1)])
+        proof = tree.prove_inexistence("z")
+        proof.verify(tree.root, "z")
+        assert proof.successor is None
+        assert proof.predecessor.leaf_index == 3
+
+    def test_empty_tree(self):
+        tree = SortedMerkleTree([])
+        proof = tree.prove_inexistence("anything")
+        proof.verify(tree.root, "anything")
+
+    def test_existing_address_rejected_at_prove_time(self, sample):
+        with pytest.raises(ProofError):
+            sample.prove_inexistence("1abc")
+
+    def test_proof_does_not_transfer_to_other_address(self, sample):
+        proof = sample.prove_inexistence("1c")
+        with pytest.raises(VerificationError):
+            proof.verify(sample.root, "1bcd")  # an existing leaf
+        with pytest.raises(VerificationError):
+            proof.verify(sample.root, "1f")  # outside the proven interval
+
+    def test_non_adjacent_branches_rejected(self, sample):
+        pred = sample.branch(0)
+        succ = sample.branch(2)
+        proof = SmtInexistenceProof(pred, succ)
+        with pytest.raises(VerificationError):
+            proof.verify(sample.root, "1abd")
+
+    def test_wrong_root_rejected(self, sample):
+        other = tree_from([("1abc", 2)])
+        proof = sample.prove_inexistence("1c")
+        with pytest.raises(VerificationError):
+            proof.verify(other.root, "1c")
+
+    def test_successor_only_requires_index_zero(self, sample):
+        proof = SmtInexistenceProof(None, sample.branch(1))
+        with pytest.raises(VerificationError):
+            proof.verify(sample.root, "0zzz")
+
+    def test_predecessor_only_requires_last_slot(self):
+        tree = tree_from([("a", 1), ("b", 1), ("c", 1), ("d", 1)])
+        proof = SmtInexistenceProof(tree.branch(2), None)
+        with pytest.raises(VerificationError):
+            proof.verify(tree.root, "z")
+
+    def test_predecessor_only_rejects_sentinel(self, sample):
+        # Slot 7 is a sentinel; a malicious prover may not use it as the
+        # "last real leaf" of a predecessor-only proof.
+        proof = SmtInexistenceProof(sample.branch(7), None)
+        with pytest.raises(VerificationError):
+            proof.verify(sample.root, SMT_SENTINEL + "x")
+
+    def test_needs_at_least_one_branch(self):
+        with pytest.raises(ProofError):
+            SmtInexistenceProof(None, None)
+
+    def test_serialization_roundtrip(self, sample):
+        for address in ("0zzz", "1c", "9zzz"):
+            proof = sample.prove_inexistence(address)
+            reader = ByteReader(proof.serialize())
+            restored = SmtInexistenceProof.deserialize(reader)
+            reader.finish()
+            restored.verify(sample.root, address)
+
+    def test_bad_flags_rejected(self):
+        with pytest.raises(EncodingError):
+            SmtInexistenceProof.deserialize(ByteReader(b"\x00"))
+
+
+class TestLeafValidation:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SmtLeaf("a", -1)
+
+    def test_address_beyond_sentinel_rejected(self):
+        with pytest.raises(ValueError):
+            SmtLeaf("\x7fzz", 1)
+
+    def test_sentinel_constructor(self):
+        leaf = SmtLeaf.sentinel()
+        assert leaf.is_sentinel
+        assert leaf.count == 0
+
+    def test_leaf_serialization_roundtrip(self):
+        leaf = SmtLeaf("1SomeAddress", 42)
+        reader = ByteReader(leaf.serialize())
+        assert SmtLeaf.deserialize(reader) == leaf

@@ -1,0 +1,146 @@
+"""Unit tests for the Bitcoin-style Merkle tree and branches."""
+
+import pytest
+
+from repro.crypto.encoding import ByteReader
+from repro.crypto.hashing import sha256, sha256d
+from repro.errors import EncodingError, ProofError
+from repro.merkle.tree import MerkleBranch, MerkleTree
+
+
+def leaves(n):
+    return [sha256(f"leaf-{i}".encode()) for i in range(n)]
+
+
+class TestTreeConstruction:
+    def test_single_leaf_root_is_leaf(self):
+        [leaf] = leaves(1)
+        tree = MerkleTree([leaf])
+        assert tree.root == leaf
+        assert tree.depth == 0
+
+    def test_two_leaves(self):
+        pair = leaves(2)
+        tree = MerkleTree(pair)
+        assert tree.root == sha256d(pair[0] + pair[1])
+
+    def test_odd_count_duplicates_last(self):
+        """Bitcoin's rule: [a,b,c] hashes like [a,b,c,c]."""
+        a, b, c = leaves(3)
+        tree = MerkleTree([a, b, c])
+        expected = sha256d(sha256d(a + b) + sha256d(c + c))
+        assert tree.root == expected
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 16, 33])
+    def test_depth(self, n):
+        tree = MerkleTree(leaves(n))
+        assert tree.num_leaves == n
+        assert 1 << tree.depth >= n
+        if n > 1:
+            assert 1 << (tree.depth - 1) < n
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree([])
+
+    def test_bad_leaf_size_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree([b"short"])
+
+    def test_order_matters(self):
+        a, b = leaves(2)
+        assert MerkleTree([a, b]).root != MerkleTree([b, a]).root
+
+
+class TestBranches:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13, 16])
+    def test_every_leaf_proves(self, n):
+        tree = MerkleTree(leaves(n))
+        for index in range(n):
+            branch = tree.branch(index)
+            assert branch.verify(tree.root)
+            assert branch.leaf_hash == tree.leaf(index)
+            assert branch.leaf_index == index
+
+    def test_branch_out_of_range(self):
+        tree = MerkleTree(leaves(4))
+        with pytest.raises(IndexError):
+            tree.branch(4)
+        with pytest.raises(IndexError):
+            tree.branch(-1)
+
+    def test_wrong_root_rejected(self):
+        tree = MerkleTree(leaves(8))
+        other = MerkleTree(leaves(9))
+        assert not tree.branch(3).verify(other.root)
+
+    def test_tampered_leaf_rejected(self):
+        tree = MerkleTree(leaves(8))
+        branch = tree.branch(2)
+        forged = MerkleBranch(
+            sha256(b"evil"), branch.leaf_index, branch.siblings
+        )
+        assert not forged.verify(tree.root)
+
+    def test_tampered_sibling_rejected(self):
+        tree = MerkleTree(leaves(8))
+        branch = tree.branch(2)
+        siblings = list(branch.siblings)
+        siblings[1] = sha256(b"evil")
+        forged = MerkleBranch(branch.leaf_hash, branch.leaf_index, siblings)
+        assert not forged.verify(tree.root)
+
+    def test_wrong_index_rejected(self):
+        """The index drives sibling sides; a lie breaks the fold."""
+        tree = MerkleTree(leaves(8))
+        branch = tree.branch(2)
+        forged = MerkleBranch(branch.leaf_hash, 3, branch.siblings)
+        assert not forged.verify(tree.root)
+
+    def test_duplicated_last_leaf_still_proves(self):
+        tree = MerkleTree(leaves(5))
+        assert tree.branch(4).verify(tree.root)
+
+    def test_index_depth_consistency_enforced(self):
+        with pytest.raises(ProofError):
+            MerkleBranch(sha256(b"x"), 4, [sha256(b"s")] * 2)
+
+    def test_bad_hash_sizes_rejected(self):
+        with pytest.raises(ProofError):
+            MerkleBranch(b"short", 0, [])
+        with pytest.raises(ProofError):
+            MerkleBranch(sha256(b"x"), 0, [b"short"])
+
+
+class TestBranchSerialization:
+    def test_roundtrip(self):
+        tree = MerkleTree(leaves(11))
+        branch = tree.branch(6)
+        restored = MerkleBranch.from_bytes(branch.serialize())
+        assert restored == branch
+        assert restored.verify(tree.root)
+
+    def test_size_bytes_is_len_serialize(self):
+        branch = MerkleTree(leaves(16)).branch(5)
+        assert branch.size_bytes() == len(branch.serialize())
+
+    def test_trailing_garbage_rejected(self):
+        branch = MerkleTree(leaves(4)).branch(0)
+        with pytest.raises(EncodingError):
+            MerkleBranch.from_bytes(branch.serialize() + b"\x00")
+
+    def test_truncated_rejected(self):
+        branch = MerkleTree(leaves(4)).branch(0)
+        with pytest.raises(EncodingError):
+            MerkleBranch.from_bytes(branch.serialize()[:-1])
+
+    def test_implausible_depth_rejected(self):
+        payload = sha256(b"x") + b"\x00" + b"\x60"  # depth 96
+        with pytest.raises(EncodingError):
+            MerkleBranch.deserialize(ByteReader(payload))
+
+    def test_size_grows_logarithmically(self):
+        small = MerkleTree(leaves(4)).branch(0).size_bytes()
+        large = MerkleTree(leaves(256)).branch(0).size_bytes()
+        # 6 extra levels => 6 extra hashes.
+        assert large - small == 6 * 32

@@ -1,0 +1,91 @@
+"""Tests for the multi-peer light client: one honest peer suffices."""
+
+import pytest
+
+from repro.errors import NoHonestPeerError, VerificationError
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.query.adversary import (
+    ALL_ATTACKS,
+    MaliciousFullNode,
+    drop_block_resolution,
+    omit_one_transaction,
+    truncate_blocks,
+)
+
+
+@pytest.fixture()
+def light(lvq_system):
+    return LightNode(lvq_system.headers(), lvq_system.config)
+
+
+class TestQueryAny:
+    def test_single_honest_peer(self, lvq_system, light, probe_addresses):
+        history = light.query_history_any(
+            [FullNode(lvq_system)], probe_addresses["Addr5"]
+        )
+        assert history.transactions
+
+    def test_honest_peer_behind_liars(
+        self, workload, lvq_system, light, probe_addresses
+    ):
+        """Two malicious peers first; the honest third one wins."""
+        address = probe_addresses["Addr6"]
+        peers = [
+            MaliciousFullNode(lvq_system, omit_one_transaction),
+            MaliciousFullNode(lvq_system, drop_block_resolution),
+            FullNode(lvq_system),
+        ]
+        history = light.query_history_any(peers, address)
+        truth = workload.history_of(address)
+        assert [(h, t.txid()) for h, t in history.transactions] == [
+            (h, t.txid()) for h, t in truth
+        ]
+
+    def test_all_malicious_raises_with_reasons(
+        self, lvq_system, light, probe_addresses
+    ):
+        address = probe_addresses["Addr6"]
+        peers = [
+            MaliciousFullNode(lvq_system, omit_one_transaction),
+            MaliciousFullNode(lvq_system, truncate_blocks),
+        ]
+        with pytest.raises(NoHonestPeerError) as excinfo:
+            light.query_history_any(peers, address)
+        assert set(excinfo.value.reasons) == {"peer0", "peer1"}
+        for reason in excinfo.value.reasons.values():
+            assert isinstance(reason, Exception)
+
+    def test_no_peers_rejected(self, light, probe_addresses):
+        with pytest.raises(VerificationError):
+            light.query_history_any([], probe_addresses["Addr1"])
+
+    def test_range_queries_supported(
+        self, workload, lvq_system, light, probe_addresses
+    ):
+        address = probe_addresses["Addr5"]
+        peers = [
+            MaliciousFullNode(lvq_system, drop_block_resolution),
+            FullNode(lvq_system),
+        ]
+        history = light.query_history_any(
+            peers, address, first_height=10, last_height=30
+        )
+        truth = [
+            (h, t.txid())
+            for h, t in workload.history_of(address)
+            if 10 <= h <= 30
+        ]
+        assert [(h, t.txid()) for h, t in history.transactions] == truth
+
+    def test_every_attack_survivable_with_one_honest_peer(
+        self, workload, lvq_system, light, probe_addresses
+    ):
+        address = probe_addresses["Addr6"]
+        truth = [(h, t.txid()) for h, t in workload.history_of(address)]
+        peers = [
+            MaliciousFullNode(lvq_system, attack)
+            for attack in ALL_ATTACKS.values()
+        ] + [FullNode(lvq_system)]
+        history = light.query_history_any(peers, address)
+        assert [(h, t.txid()) for h, t in history.transactions] == truth

@@ -1,0 +1,96 @@
+"""Unit tests for FullNode / LightNode behaviour."""
+
+import pytest
+
+from repro.chain.block import BASE_HEADER_SIZE
+from repro.errors import QueryError
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.node.messages import HeadersRequest, HeadersResponse, QueryRequest
+from repro.node.transport import InProcessTransport
+
+
+class TestFullNode:
+    def test_query_equals_answer(self, lvq_system, probe_addresses):
+        node = FullNode(lvq_system)
+        address = probe_addresses["Addr3"]
+        config = lvq_system.config
+        assert node.query(address).serialize(config) == node.answer(
+            address
+        ).serialize(config)
+
+    def test_handle_query_rejects_empty_address(self, lvq_system):
+        node = FullNode(lvq_system)
+        with pytest.raises(QueryError):
+            node.handle_query(QueryRequest("").serialize())
+
+    def test_handle_headers(self, lvq_system):
+        node = FullNode(lvq_system)
+        payload = node.handle_headers(HeadersRequest(10).serialize())
+        response = HeadersResponse.deserialize(payload, extension_kind=3)
+        assert response.from_height == 10
+        assert len(response.headers) == len(lvq_system.headers()) - 10
+
+    def test_handle_headers_at_tip_plus_one_is_empty(self, lvq_system):
+        """Asking from tip+1 is a no-op sync, not an error."""
+        node = FullNode(lvq_system)
+        payload = node.handle_headers(
+            HeadersRequest(lvq_system.tip_height + 1).serialize()
+        )
+        response = HeadersResponse.deserialize(payload, extension_kind=3)
+        assert response.headers == []
+
+    def test_handle_headers_beyond_tip(self, lvq_system):
+        node = FullNode(lvq_system)
+        with pytest.raises(QueryError):
+            node.handle_headers(
+                HeadersRequest(lvq_system.tip_height + 2).serialize()
+            )
+
+
+class TestLightNode:
+    def test_bootstrap_from_full_node(self, lvq_system):
+        full_node = FullNode(lvq_system)
+        light_node = LightNode.from_full_node(full_node)
+        assert light_node.tip_height == lvq_system.tip_height
+        assert light_node.headers[0] == lvq_system.headers()[0]
+
+    def test_storage_is_headers_only(self, lvq_system):
+        light_node = LightNode(lvq_system.headers(), lvq_system.config)
+        expected = sum(h.size_bytes() for h in lvq_system.headers())
+        assert light_node.storage_bytes() == expected
+        # LVQ: 80-byte core + 64 bytes of commitments per block.
+        assert expected == len(lvq_system.headers()) * (BASE_HEADER_SIZE + 64)
+
+    def test_query_history_counts_bytes(self, lvq_system, probe_addresses):
+        full_node = FullNode(lvq_system)
+        light_node = LightNode.from_full_node(full_node)
+        transport = InProcessTransport()
+        light_node.query_history(full_node, probe_addresses["Addr4"], transport)
+        result = full_node.query(probe_addresses["Addr4"])
+        # Response = 1 tag byte + serialized result.
+        assert transport.stats.bytes_to_client == (
+            1 + result.size_bytes(lvq_system.config)
+        )
+        assert transport.stats.bytes_to_server > 0
+
+    def test_query_balance(self, workload, lvq_system, probe_addresses):
+        from repro.chain.utxo import balance_from_history
+
+        full_node = FullNode(lvq_system)
+        light_node = LightNode.from_full_node(full_node)
+        address = probe_addresses["Addr6"]
+        balance = light_node.query_balance(full_node, address)
+        expected = balance_from_history(
+            address, (tx for _h, tx in workload.history_of(address))
+        )
+        assert balance == expected
+
+    def test_cross_system_nodes_disagree(self, lvq_system, strawman_system):
+        """A light node on one system cannot consume another's answers."""
+        from repro.errors import VerificationError
+
+        full_node = FullNode(strawman_system)
+        light_node = LightNode(lvq_system.headers(), lvq_system.config)
+        with pytest.raises((VerificationError, Exception)):
+            light_node.query_history(full_node, "1AnyAddress")

@@ -1,0 +1,113 @@
+"""Unit tests for the byte-counting transport."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.node.transport import InProcessTransport, LinkModel
+
+
+class TestCounting:
+    def test_counts_both_directions(self):
+        transport = InProcessTransport()
+        transport.send_to_server(b"abc")
+        transport.send_to_client(b"defgh")
+        assert transport.stats.bytes_to_server == 3
+        assert transport.stats.bytes_to_client == 5
+        assert transport.stats.total_bytes == 8
+        assert transport.stats.messages_to_server == 1
+        assert transport.stats.messages_to_client == 1
+
+    def test_payload_passes_through(self):
+        transport = InProcessTransport()
+        assert transport.send_to_server(b"payload") == b"payload"
+
+    def test_accumulates(self):
+        transport = InProcessTransport()
+        for _ in range(5):
+            transport.send_to_client(b"xx")
+        assert transport.stats.bytes_to_client == 10
+        assert transport.stats.messages_to_client == 5
+
+
+class TestLinkModel:
+    def test_transfer_time_formula(self):
+        link = LinkModel(bandwidth_bps=1_000_000, rtt_seconds=0.1)
+        assert link.transfer_seconds(500_000) == pytest.approx(0.1 + 0.5)
+        assert link.transfer_seconds(0, round_trips=3) == pytest.approx(0.3)
+
+    def test_presets_ordering(self):
+        fast = LinkModel.home_broadband()
+        slow = LinkModel.mobile_3g()
+        payload = 1_000_000
+        assert fast.transfer_seconds(payload) < slow.transfer_seconds(payload)
+
+    def test_estimated_latency_from_stats(self):
+        transport = InProcessTransport()
+        transport.send_to_server(b"x" * 100)
+        transport.send_to_client(b"y" * 900)
+        link = LinkModel(bandwidth_bps=1000, rtt_seconds=0.05)
+        assert link.estimated_latency(transport.stats) == pytest.approx(
+            0.05 + 1.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth_bps=0, rtt_seconds=0.1)
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth_bps=10, rtt_seconds=-1)
+        link = LinkModel(bandwidth_bps=10, rtt_seconds=0)
+        with pytest.raises(ValueError):
+            link.transfer_seconds(-5)
+
+    def test_paper_scale_comparison(self, lvq_system, strawman_system, probe_addresses):
+        """A 3G light node feels the strawman's 41MB-vs-0.57MB gap as
+        minutes vs sub-second; reproduced here at test scale."""
+        from repro.node.full_node import FullNode
+        from repro.node.light_node import LightNode
+
+        link = LinkModel.mobile_3g()
+        latencies = {}
+        for system in (lvq_system, strawman_system):
+            full_node = FullNode(system)
+            light_node = LightNode.from_full_node(full_node)
+            transport = InProcessTransport()
+            light_node.query_history(
+                full_node, probe_addresses["Addr1"], transport
+            )
+            latencies[system.config.kind.value] = link.estimated_latency(
+                transport.stats
+            )
+        assert latencies["lvq"] < latencies["strawman"]
+
+
+class TestFailureInjection:
+    def test_budget_exhaustion(self):
+        transport = InProcessTransport(byte_budget=10)
+        transport.send_to_server(b"12345")
+        with pytest.raises(TransportError):
+            transport.send_to_client(b"1234567")
+        assert transport.is_closed
+
+    def test_exact_budget_allowed(self):
+        transport = InProcessTransport(byte_budget=4)
+        transport.send_to_server(b"1234")  # exactly at budget
+
+    def test_closed_transport_rejects(self):
+        transport = InProcessTransport()
+        transport.close()
+        with pytest.raises(TransportError):
+            transport.send_to_server(b"x")
+
+    def test_mid_query_link_failure(self, lvq_system, probe_addresses):
+        """A link that dies mid-transfer surfaces as TransportError, and
+        the light node accepts nothing."""
+        from repro.node.full_node import FullNode
+        from repro.node.light_node import LightNode
+
+        full_node = FullNode(lvq_system)
+        light_node = LightNode.from_full_node(full_node)
+        starved = InProcessTransport(byte_budget=50)
+        with pytest.raises(TransportError):
+            light_node.query_history(
+                full_node, probe_addresses["Addr6"], starved
+            )

@@ -1,0 +1,98 @@
+"""Property-based tests for Bloom filters and bit arrays."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom.bitarray import BitArray
+from repro.bloom.filter import BloomFilter, bloom_positions
+
+items_strategy = st.lists(st.binary(min_size=1, max_size=24), max_size=40)
+geometry = st.tuples(
+    st.integers(min_value=1, max_value=32).map(lambda w: w * 8),
+    st.integers(min_value=1, max_value=8),
+)
+
+
+class TestBloomProperties:
+    @given(items=items_strategy, geom=geometry)
+    @settings(max_examples=60)
+    def test_no_false_negatives(self, items, geom):
+        size_bits, k = geom
+        bloom = BloomFilter.from_items(items, size_bits, k)
+        assert all(item in bloom for item in items)
+
+    @given(items=items_strategy, geom=geometry)
+    @settings(max_examples=40)
+    def test_serialization_roundtrip(self, items, geom):
+        size_bits, k = geom
+        bloom = BloomFilter.from_items(items, size_bits, k)
+        restored = BloomFilter.from_bytes(bloom.to_bytes(), k)
+        assert restored == bloom
+
+    @given(
+        left=items_strategy,
+        right=items_strategy,
+        geom=geometry,
+        probe=st.binary(min_size=1, max_size=24),
+    )
+    @settings(max_examples=60)
+    def test_union_superset(self, left, right, geom, probe):
+        """x in A or x in B  =>  x in (A|B); and fill only grows."""
+        size_bits, k = geom
+        a = BloomFilter.from_items(left, size_bits, k)
+        b = BloomFilter.from_items(right, size_bits, k)
+        merged = a | b
+        if probe in a or probe in b:
+            assert probe in merged
+        assert a.bits.is_subset_of(merged.bits)
+        assert b.bits.is_subset_of(merged.bits)
+
+    @given(items=items_strategy, geom=geometry)
+    @settings(max_examples=40)
+    def test_union_idempotent(self, items, geom):
+        size_bits, k = geom
+        bloom = BloomFilter.from_items(items, size_bits, k)
+        assert (bloom | bloom).bits == bloom.bits
+
+    @given(
+        item=st.binary(min_size=1, max_size=64),
+        geom=geometry,
+    )
+    @settings(max_examples=60)
+    def test_positions_stable_and_bounded(self, item, geom):
+        size_bits, k = geom
+        positions = bloom_positions(item, k, size_bits)
+        assert positions == bloom_positions(item, k, size_bits)
+        assert len(positions) == k
+        assert all(0 <= p < size_bits for p in positions)
+
+
+class TestBitArrayProperties:
+    @given(
+        indices=st.lists(
+            st.integers(min_value=0, max_value=127), max_size=50
+        )
+    )
+    @settings(max_examples=60)
+    def test_roundtrip(self, indices):
+        bits = BitArray(128)
+        for index in indices:
+            bits.set(index)
+        assert BitArray.from_bytes(bits.to_bytes()) == bits
+        assert bits.popcount() == len(set(indices))
+
+    @given(
+        a_indices=st.lists(st.integers(min_value=0, max_value=63), max_size=30),
+        b_indices=st.lists(st.integers(min_value=0, max_value=63), max_size=30),
+    )
+    @settings(max_examples=60)
+    def test_or_is_set_union(self, a_indices, b_indices):
+        a = BitArray(64)
+        b = BitArray(64)
+        for index in a_indices:
+            a.set(index)
+        for index in b_indices:
+            b.set(index)
+        merged = a | b
+        expected = set(a_indices) | set(b_indices)
+        assert {i for i in range(64) if merged.get(i)} == expected

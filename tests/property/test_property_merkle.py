@@ -1,0 +1,74 @@
+"""Property-based tests for Merkle trees and branches."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import sha256
+from repro.merkle.tree import MerkleBranch, MerkleTree
+
+leaf_lists = st.lists(
+    st.binary(min_size=1, max_size=8).map(sha256), min_size=1, max_size=40
+)
+
+
+class TestMerkleProperties:
+    @given(leaves=leaf_lists, data=st.data())
+    @settings(max_examples=60)
+    def test_every_branch_verifies(self, leaves, data):
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        branch = tree.branch(index)
+        assert branch.verify(tree.root)
+        assert branch.leaf_hash == leaves[index]
+
+    @given(leaves=leaf_lists, data=st.data())
+    @settings(max_examples=60)
+    def test_tampered_leaf_never_verifies(self, leaves, data):
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        branch = tree.branch(index)
+        forged_leaf = sha256(branch.leaf_hash)  # guaranteed different
+        forged = MerkleBranch(forged_leaf, branch.leaf_index, branch.siblings)
+        assert not forged.verify(tree.root)
+
+    @given(leaves=leaf_lists, data=st.data())
+    @settings(max_examples=60)
+    def test_branch_serialization_roundtrip(self, leaves, data):
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        branch = tree.branch(index)
+        restored = MerkleBranch.from_bytes(branch.serialize())
+        assert restored == branch
+        assert restored.verify(tree.root)
+
+    @given(leaves=leaf_lists)
+    @settings(max_examples=60)
+    def test_root_deterministic(self, leaves):
+        assert MerkleTree(leaves).root == MerkleTree(leaves).root
+
+    @given(leaves=leaf_lists, data=st.data())
+    @settings(max_examples=60)
+    def test_any_leaf_change_changes_root(self, leaves, data):
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        mutated = list(leaves)
+        mutated[index] = sha256(mutated[index])
+        assert MerkleTree(mutated).root != tree.root
+
+    @given(
+        leaves=st.lists(
+            st.binary(min_size=1, max_size=8).map(sha256),
+            min_size=2,
+            max_size=40,
+            unique=True,
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=60)
+    def test_distinct_leaves_distinct_branches(self, leaves, data):
+        tree = MerkleTree(leaves)
+        i = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        j = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        if i == j:
+            return
+        assert tree.branch(i).leaf_index != tree.branch(j).leaf_index

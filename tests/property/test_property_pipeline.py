@@ -1,0 +1,96 @@
+"""Property-based end-to-end pipeline tests.
+
+For randomly shaped miniature workloads, arbitrary system configs, and
+arbitrary query ranges, verified histories must equal the ground truth —
+the strongest statement of correctness + completeness the library makes.
+Chain sizes are kept tiny so hypothesis can explore many shapes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.builder import build_system
+from repro.query.config import SystemConfig, SystemKind
+from repro.query.prover import answer_query
+from repro.query.verifier import verify_result
+from repro.workload.generator import WorkloadParams, generate_workload
+from repro.workload.profiles import ProbeProfile
+
+_WORKLOAD_CACHE = {}
+
+
+def _workload(num_blocks, seed):
+    key = (num_blocks, seed)
+    if key not in _WORKLOAD_CACHE:
+        _WORKLOAD_CACHE[key] = generate_workload(
+            WorkloadParams(
+                num_blocks=num_blocks,
+                txs_per_block=5,
+                seed=seed,
+                probes=[
+                    ProbeProfile("Zero", 0, 0),
+                    ProbeProfile("Few", min(3, num_blocks), min(2, num_blocks)),
+                ],
+            )
+        )
+    return _WORKLOAD_CACHE[key]
+
+
+def _config(kind, bf_bytes, segment_len):
+    if kind is SystemKind.LVQ:
+        return SystemConfig.lvq(bf_bytes=bf_bytes, segment_len=segment_len)
+    if kind is SystemKind.LVQ_NO_SMT:
+        return SystemConfig.lvq_no_smt(
+            bf_bytes=bf_bytes, segment_len=segment_len
+        )
+    if kind is SystemKind.LVQ_NO_BMT:
+        return SystemConfig.lvq_no_bmt(bf_bytes=bf_bytes)
+    return SystemConfig.strawman(bf_bytes=bf_bytes)
+
+
+@given(
+    num_blocks=st.integers(min_value=2, max_value=14),
+    seed=st.integers(min_value=1, max_value=4),
+    kind=st.sampled_from(
+        [
+            SystemKind.STRAWMAN,
+            SystemKind.LVQ_NO_BMT,
+            SystemKind.LVQ_NO_SMT,
+            SystemKind.LVQ,
+        ]
+    ),
+    bf_bytes=st.sampled_from([8, 32, 128]),
+    segment_exp=st.integers(min_value=0, max_value=4),
+    probe=st.sampled_from(["Zero", "Few"]),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_verified_history_equals_truth(
+    num_blocks, seed, kind, bf_bytes, segment_exp, probe, data
+):
+    workload = _workload(num_blocks, seed)
+    config = _config(kind, bf_bytes, 1 << segment_exp)
+    system = build_system(workload.bodies, config)
+    headers = system.headers()
+    address = workload.probe_addresses[probe]
+
+    first = data.draw(
+        st.integers(min_value=1, max_value=num_blocks), label="first"
+    )
+    last = data.draw(
+        st.integers(min_value=first, max_value=num_blocks), label="last"
+    )
+
+    result = answer_query(system, address, first, last)
+    # The wire round-trip must not change anything.
+    from repro.query.result import QueryResult
+
+    restored = QueryResult.deserialize(result.serialize(config), config)
+    history = verify_result(restored, headers, config, address, (first, last))
+
+    truth = [
+        (h, tx.txid())
+        for h, tx in workload.history_of(address)
+        if first <= h <= last
+    ]
+    assert [(h, tx.txid()) for h, tx in history.transactions] == truth

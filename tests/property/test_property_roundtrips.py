@@ -1,0 +1,111 @@
+"""Property-based round-trip tests for the remaining wire formats."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.transaction import Transaction, TxInput, TxOutput
+from repro.crypto.encoding import (
+    ByteReader,
+    base58_decode,
+    base58_encode,
+    read_varint,
+    write_var_bytes,
+    write_varint,
+)
+
+addr_text = st.text(
+    alphabet=string.digits + string.ascii_letters, min_size=1, max_size=34
+)
+
+
+class TestEncodingRoundtrips:
+    @given(value=st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=120)
+    def test_varint(self, value):
+        encoded = write_varint(value)
+        decoded, offset = read_varint(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    @given(payload=st.binary(max_size=64))
+    @settings(max_examples=120)
+    def test_base58(self, payload):
+        assert base58_decode(base58_encode(payload)) == payload
+
+    @given(payload=st.binary(max_size=40))
+    @settings(max_examples=80)
+    def test_var_bytes(self, payload):
+        reader = ByteReader(write_var_bytes(payload))
+        assert reader.var_bytes() == payload
+        reader.finish()
+
+
+def tx_inputs():
+    return st.builds(
+        TxInput,
+        prev_txid=st.binary(min_size=32, max_size=32),
+        prev_index=st.integers(min_value=0, max_value=2**32 - 1),
+        address=addr_text,
+        value=st.integers(min_value=0, max_value=2**48),
+    )
+
+
+def tx_outputs():
+    return st.builds(
+        TxOutput,
+        address=addr_text,
+        value=st.integers(min_value=0, max_value=2**48),
+    )
+
+
+class TestTransactionRoundtrips:
+    @given(
+        inputs=st.lists(tx_inputs(), min_size=1, max_size=4),
+        outputs=st.lists(tx_outputs(), min_size=1, max_size=4),
+        version=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=80)
+    def test_roundtrip(self, inputs, outputs, version):
+        tx = Transaction(inputs, outputs, version)
+        restored = Transaction.from_bytes(tx.serialize())
+        assert restored == tx
+        assert restored.inputs == tx.inputs
+        assert restored.outputs == tx.outputs
+        assert restored.txid() == tx.txid()
+
+    @given(
+        inputs=st.lists(tx_inputs(), min_size=1, max_size=3),
+        outputs=st.lists(tx_outputs(), min_size=1, max_size=3),
+    )
+    @settings(max_examples=60)
+    def test_txid_injective_on_serialization(self, inputs, outputs):
+        """Same bytes iff same txid (hash is deterministic)."""
+        tx = Transaction(inputs, outputs)
+        clone = Transaction.from_bytes(tx.serialize())
+        assert clone.serialize() == tx.serialize()
+        assert clone.txid() == tx.txid()
+
+    @given(
+        inputs=st.lists(tx_inputs(), min_size=1, max_size=3),
+        outputs=st.lists(tx_outputs(), min_size=1, max_size=3),
+        probe=addr_text,
+    )
+    @settings(max_examples=80)
+    def test_involves_matches_addresses(self, inputs, outputs, probe):
+        tx = Transaction(inputs, outputs)
+        assert tx.involves(probe) == (probe in tx.addresses())
+
+    @given(
+        inputs=st.lists(tx_inputs(), min_size=1, max_size=3),
+        outputs=st.lists(tx_outputs(), min_size=1, max_size=3),
+        probe=addr_text,
+    )
+    @settings(max_examples=80)
+    def test_equation1_terms_non_negative(self, inputs, outputs, probe):
+        tx = Transaction(inputs, outputs)
+        assert tx.received_by(probe) >= 0
+        assert tx.sent_by(probe) >= 0
+        if not tx.involves(probe):
+            assert tx.received_by(probe) == 0 and tx.sent_by(probe) == 0

@@ -1,0 +1,89 @@
+"""Property-based tests for Algorithm 1 and the segment decomposition.
+
+These invariants are what the whole LVQ proof system hangs on: if the
+prover and verifier ever disagreed about which BMT covers which blocks,
+completeness would silently break.  Hypothesis sweeps tips and segment
+lengths far beyond the paper's examples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.segments import (
+    covering_spans,
+    is_anchor_for,
+    merge_span,
+    segment_spans,
+)
+
+segment_lens = st.integers(min_value=0, max_value=12).map(lambda e: 1 << e)
+
+
+class TestMergeSpanProperties:
+    @given(height=st.integers(min_value=1, max_value=100_000), m=segment_lens)
+    @settings(max_examples=200)
+    def test_span_shape(self, height, m):
+        start, end = merge_span(height, m)
+        size = end - start + 1
+        assert end == height
+        assert size & (size - 1) == 0  # power of two
+        assert size <= m
+        position = height % m or m
+        assert position % size == 0  # size divides the in-segment position
+
+    @given(height=st.integers(min_value=1, max_value=100_000), m=segment_lens)
+    @settings(max_examples=200)
+    def test_span_never_crosses_segment_boundary(self, height, m):
+        start, end = merge_span(height, m)
+        # All merged blocks lie in the same M-segment.
+        assert (start - 1) // m == (end - 1) // m
+
+    @given(height=st.integers(min_value=1, max_value=100_000), m=segment_lens)
+    @settings(max_examples=200)
+    def test_maximality(self, height, m):
+        """Algorithm 1 picks the *largest* qualifying power of two."""
+        start, end = merge_span(height, m)
+        size = end - start + 1
+        bigger = size * 2
+        position = height % m or m
+        if bigger <= m:
+            assert position % bigger != 0 or bigger > position
+
+
+class TestSegmentSpanProperties:
+    @given(tip=st.integers(min_value=0, max_value=20_000), m=segment_lens)
+    @settings(max_examples=200)
+    def test_partition(self, tip, m):
+        spans = segment_spans(tip, m)
+        covered = [h for start, end in spans for h in range(start, end + 1)]
+        assert covered == list(range(1, tip + 1))
+
+    @given(tip=st.integers(min_value=1, max_value=20_000), m=segment_lens)
+    @settings(max_examples=200)
+    def test_each_span_has_a_valid_anchor(self, tip, m):
+        for anchor, start, end in covering_spans(tip, m):
+            assert anchor == end <= tip
+            assert is_anchor_for(anchor, start, end, m)
+
+    @given(tip=st.integers(min_value=1, max_value=20_000), m=segment_lens)
+    @settings(max_examples=200)
+    def test_span_sizes_complete_then_descending(self, tip, m):
+        sizes = [end - start + 1 for start, end in segment_spans(tip, m)]
+        tail_started = False
+        previous_tail = None
+        for size in sizes:
+            if size == m and not tail_started:
+                continue  # complete segments first
+            tail_started = True
+            assert size < m or sizes.count(m) * m == tip
+            if previous_tail is not None:
+                assert size < previous_tail  # strictly descending powers
+            previous_tail = size
+
+    @given(tip=st.integers(min_value=1, max_value=20_000), m=segment_lens)
+    @settings(max_examples=100)
+    def test_prover_verifier_agreement(self, tip, m):
+        """Both sides derive the same covering from (tip, M) alone."""
+        assert covering_spans(tip, m) == covering_spans(tip, m)
+        spans = segment_spans(tip, m)
+        assert [(s, e) for _a, s, e in covering_spans(tip, m)] == spans

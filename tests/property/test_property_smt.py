@@ -1,0 +1,89 @@
+"""Property-based tests for the Sorted Merkle Tree.
+
+The central invariant: for ANY leaf population and ANY queried address,
+the SMT yields exactly one of (a) an existence branch carrying the true
+count, or (b) an inexistence proof that verifies for that address and for
+no address present in the tree.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VerificationError
+from repro.merkle.sorted_tree import SortedMerkleTree
+
+# Address-like strings: Base58-ish alphabet keeps us under the sentinel.
+addr_alphabet = string.digits + string.ascii_letters
+addresses = st.text(alphabet=addr_alphabet, min_size=1, max_size=12)
+populations = st.dictionaries(
+    addresses, st.integers(min_value=1, max_value=50), max_size=25
+)
+
+
+class TestSmtProperties:
+    @given(population=populations)
+    @settings(max_examples=60)
+    def test_every_member_has_existence_proof(self, population):
+        tree = SortedMerkleTree.from_counts(population)
+        for address, count in population.items():
+            branch = tree.prove_existence(address)
+            assert branch.verify(tree.root)
+            assert branch.leaf.count == count
+
+    @given(population=populations, probe=addresses)
+    @settings(max_examples=100)
+    def test_membership_dichotomy(self, population, probe):
+        tree = SortedMerkleTree.from_counts(population)
+        if probe in population:
+            branch = tree.prove_existence(probe)
+            assert branch.verify(tree.root)
+        else:
+            proof = tree.prove_inexistence(probe)
+            proof.verify(tree.root, probe)  # must not raise
+
+    @given(population=populations.filter(lambda p: len(p) >= 1), probe=addresses)
+    @settings(max_examples=100)
+    def test_inexistence_proof_not_transferable_to_members(
+        self, population, probe
+    ):
+        if probe in population:
+            return
+        tree = SortedMerkleTree.from_counts(population)
+        proof = tree.prove_inexistence(probe)
+        for member in population:
+            try:
+                proof.verify(tree.root, member)
+                assert False, (
+                    f"inexistence proof for {probe!r} also verified for "
+                    f"member {member!r}"
+                )
+            except VerificationError:
+                pass
+
+    @given(population=populations)
+    @settings(max_examples=60)
+    def test_root_independent_of_insertion_order(self, population):
+        tree_a = SortedMerkleTree.from_counts(population)
+        reordered = dict(reversed(list(population.items())))
+        tree_b = SortedMerkleTree.from_counts(reordered)
+        assert tree_a.root == tree_b.root
+
+    @given(population=populations.filter(lambda p: len(p) >= 1))
+    @settings(max_examples=60)
+    def test_count_change_changes_root(self, population):
+        tree = SortedMerkleTree.from_counts(population)
+        mutated = dict(population)
+        first = next(iter(mutated))
+        mutated[first] += 1
+        assert SortedMerkleTree.from_counts(mutated).root != tree.root
+
+    @given(population=populations)
+    @settings(max_examples=60)
+    def test_padding_invariants(self, population):
+        tree = SortedMerkleTree.from_counts(population)
+        slots = tree.num_leaves
+        assert slots & (slots - 1) == 0
+        assert tree.num_real_leaves == len(population)
+        assert slots >= max(1, len(population))

@@ -1,0 +1,129 @@
+"""Security tests (§VI): every adversarial full node is caught.
+
+The one documented exception is ``omit_one_transaction`` against the plain
+strawman — the paper's Challenge 3 — which this suite asserts *explicitly*
+as an accepted-but-wrong outcome, demonstrating why LVQ needs the SMT.
+"""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.node.light_node import LightNode
+from repro.query.adversary import ALL_ATTACKS, MaliciousFullNode
+from repro.query.config import SystemKind
+
+
+def _run_attack(system, attack, address):
+    """Returns (attack_applied, verification_raised)."""
+    node = MaliciousFullNode(system, attack)
+    light = LightNode(system.headers(), system.config)
+    try:
+        light.query_history(node, address)
+        raised = False
+    except VerificationError:
+        raised = True
+    return node.last_attack_applied, raised
+
+
+@pytest.mark.parametrize("attack_name", sorted(ALL_ATTACKS))
+def test_lvq_rejects_every_applied_attack(
+    attack_name, lvq_system, probe_addresses
+):
+    attack = ALL_ATTACKS[attack_name]
+    applied_somewhere = False
+    for address in probe_addresses.values():
+        applied, raised = _run_attack(lvq_system, attack, address)
+        if applied:
+            applied_somewhere = True
+            assert raised, f"{attack_name} accepted on LVQ for {address}"
+    if not applied_somewhere:
+        pytest.skip(f"{attack_name} found nothing to attack on LVQ")
+
+
+@pytest.mark.parametrize("attack_name", sorted(ALL_ATTACKS))
+def test_lvq_no_smt_rejects_every_applied_attack(
+    attack_name, lvq_no_smt_system, probe_addresses
+):
+    attack = ALL_ATTACKS[attack_name]
+    applied_somewhere = False
+    for address in probe_addresses.values():
+        applied, raised = _run_attack(lvq_no_smt_system, attack, address)
+        if applied:
+            applied_somewhere = True
+            assert raised, f"{attack_name} accepted on LVQ-no-SMT"
+    if not applied_somewhere:
+        pytest.skip(f"{attack_name} found nothing to attack on LVQ-no-SMT")
+
+
+@pytest.mark.parametrize("attack_name", sorted(ALL_ATTACKS))
+def test_lvq_no_bmt_rejects_every_applied_attack(
+    attack_name, lvq_no_bmt_system, probe_addresses
+):
+    attack = ALL_ATTACKS[attack_name]
+    applied_somewhere = False
+    for address in probe_addresses.values():
+        applied, raised = _run_attack(lvq_no_bmt_system, attack, address)
+        if applied:
+            applied_somewhere = True
+            assert raised, f"{attack_name} accepted on LVQ-no-BMT"
+    if not applied_somewhere:
+        pytest.skip(f"{attack_name} found nothing to attack on LVQ-no-BMT")
+
+
+class TestStrawmanChallenge3:
+    """The paper's motivating gap, reproduced as a passing test."""
+
+    def test_omission_goes_undetected(self, strawman_system, probe_addresses):
+        attack = ALL_ATTACKS["omit_one_transaction"]
+        caught_nothing = False
+        for address in probe_addresses.values():
+            applied, raised = _run_attack(strawman_system, attack, address)
+            if applied and not raised:
+                caught_nothing = True
+        assert caught_nothing, (
+            "expected the strawman to accept at least one omission — "
+            "Challenge 3 says it cannot count appearances"
+        )
+
+    def test_all_other_attacks_still_caught(
+        self, strawman_system, probe_addresses
+    ):
+        for attack_name, attack in ALL_ATTACKS.items():
+            if attack_name == "omit_one_transaction":
+                continue
+            for address in probe_addresses.values():
+                applied, raised = _run_attack(strawman_system, attack, address)
+                if applied:
+                    assert raised, (
+                        f"{attack_name} accepted on strawman for {address}"
+                    )
+
+    def test_lvq_closes_the_gap(self, lvq_system, probe_addresses):
+        """The same omission attack never succeeds against LVQ."""
+        attack = ALL_ATTACKS["omit_one_transaction"]
+        applied_somewhere = False
+        for address in probe_addresses.values():
+            applied, raised = _run_attack(lvq_system, attack, address)
+            if applied:
+                applied_somewhere = True
+                assert raised
+        assert applied_somewhere, "expected a multi-tx block to attack"
+
+
+class TestAttackBookkeeping:
+    def test_attack_applied_flag(self, lvq_system, probe_addresses):
+        # Attacking the empty address's result with a tx-level attack is a
+        # no-op and must be reported as such.
+        node = MaliciousFullNode(
+            lvq_system, ALL_ATTACKS["forge_transaction_value"]
+        )
+        light = LightNode(lvq_system.headers(), lvq_system.config)
+        light.query_history(node, probe_addresses["Addr1"])
+        assert node.last_attack_applied is False
+
+    def test_identity_attack_accepted(self, lvq_system, probe_addresses):
+        node = MaliciousFullNode(lvq_system, lambda result: result)
+        light = LightNode(lvq_system.headers(), lvq_system.config)
+        history = light.query_history(node, probe_addresses["Addr5"])
+        assert node.last_attack_applied is False
+        assert history.transactions

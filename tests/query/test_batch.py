@@ -1,0 +1,237 @@
+"""Tests for batch queries (shared-filter amortization)."""
+
+import pytest
+
+from repro.errors import (
+    CompletenessError,
+    ProofError,
+    QueryError,
+    VerificationError,
+)
+from repro.query.batch import (
+    BatchQueryResult,
+    answer_batch_query,
+    verify_batch_result,
+)
+from repro.query.prover import answer_query
+
+
+def _truth(workload, address, first=1, last=None):
+    last = last if last is not None else len(workload.bodies) - 1
+    return [
+        (h, tx.txid())
+        for h, tx in workload.history_of(address)
+        if first <= h <= last
+    ]
+
+
+class TestHonestBatch:
+    def test_batch_matches_individual_queries(
+        self, workload, any_system, probe_addresses
+    ):
+        addresses = list(probe_addresses.values())
+        batch = answer_batch_query(any_system, addresses)
+        histories = verify_batch_result(
+            batch, any_system.headers(), any_system.config, addresses
+        )
+        for address in addresses:
+            assert [
+                (h, tx.txid()) for h, tx in histories[address].transactions
+            ] == _truth(workload, address)
+
+    def test_range_batch(self, workload, strawman_system, probe_addresses):
+        addresses = [probe_addresses["Addr5"], probe_addresses["Addr6"]]
+        batch = answer_batch_query(strawman_system, addresses, 10, 30)
+        histories = verify_batch_result(
+            batch,
+            strawman_system.headers(),
+            strawman_system.config,
+            addresses,
+            expected_range=(10, 30),
+        )
+        for address in addresses:
+            assert [
+                (h, tx.txid()) for h, tx in histories[address].transactions
+            ] == _truth(workload, address, 10, 30)
+
+    def test_serialization_roundtrip(self, any_system, probe_addresses):
+        addresses = list(probe_addresses.values())[:3]
+        config = any_system.config
+        batch = answer_batch_query(any_system, addresses)
+        payload = batch.serialize(config)
+        restored = BatchQueryResult.deserialize(payload, config)
+        assert restored.serialize(config) == payload
+        verify_batch_result(
+            restored, any_system.headers(), config, addresses
+        )
+
+
+class TestAmortization:
+    def test_batch_cheaper_than_individual_on_strawman(
+        self, strawman_system, probe_addresses
+    ):
+        """Six addresses share the per-block filters: the batch costs far
+        less than six separate answers."""
+        config = strawman_system.config
+        addresses = list(probe_addresses.values())
+        individual = sum(
+            answer_query(strawman_system, address).size_bytes(config)
+            for address in addresses
+        )
+        batch = answer_batch_query(strawman_system, addresses).size_bytes(
+            config
+        )
+        # Five of the six filter sets are saved (one stays).
+        filter_set = strawman_system.tip_height * config.bf_bytes
+        assert batch < individual - 4 * filter_set
+
+    def test_batch_overhead_is_marginal_per_address(
+        self, strawman_system, probe_addresses
+    ):
+        config = strawman_system.config
+        one = answer_batch_query(
+            strawman_system, [probe_addresses["Addr1"]]
+        ).size_bytes(config)
+        two = answer_batch_query(
+            strawman_system,
+            [probe_addresses["Addr1"], probe_addresses["Addr2"]],
+        ).size_bytes(config)
+        # Adding an inactive-ish address costs much less than the filters.
+        filters = strawman_system.tip_height * config.bf_bytes
+        assert two - one < filters / 4
+
+    def test_bmt_batch_is_concatenation(self, lvq_system, probe_addresses):
+        config = lvq_system.config
+        addresses = [probe_addresses["Addr1"], probe_addresses["Addr2"]]
+        batch = answer_batch_query(lvq_system, addresses).size_bytes(config)
+        individual = sum(
+            answer_query(lvq_system, address).size_bytes(config)
+            for address in addresses
+        )
+        # No sharing on BMT systems; sizes are within framing slack.
+        assert abs(batch - individual) < 200
+
+
+class TestBatchTampering:
+    def test_dropped_resolution_rejected(
+        self, workload, strawman_system, probe_addresses
+    ):
+        addresses = [probe_addresses["Addr6"]]
+        batch = answer_batch_query(strawman_system, addresses)
+        answers = batch.per_address_answers[0]
+        index = next(
+            i for i, resolution in enumerate(answers) if resolution is not None
+        )
+        answers[index] = None
+        with pytest.raises(CompletenessError):
+            verify_batch_result(
+                batch, strawman_system.headers(), strawman_system.config
+            )
+
+    def test_swapped_filter_rejected(self, strawman_system, probe_addresses):
+        addresses = [probe_addresses["Addr1"]]
+        batch = answer_batch_query(strawman_system, addresses)
+        from repro.bloom.filter import BloomFilter
+
+        batch.shared_filters[0] = BloomFilter(
+            strawman_system.config.bf_bits, strawman_system.config.num_hashes
+        )
+        with pytest.raises(VerificationError):
+            verify_batch_result(
+                batch, strawman_system.headers(), strawman_system.config
+            )
+
+    def test_wrong_address_list_rejected(
+        self, strawman_system, probe_addresses
+    ):
+        addresses = [probe_addresses["Addr1"]]
+        batch = answer_batch_query(strawman_system, addresses)
+        with pytest.raises(VerificationError):
+            verify_batch_result(
+                batch,
+                strawman_system.headers(),
+                strawman_system.config,
+                [probe_addresses["Addr2"]],
+            )
+
+    def test_narrowed_range_rejected(self, strawman_system, probe_addresses):
+        addresses = [probe_addresses["Addr1"]]
+        batch = answer_batch_query(strawman_system, addresses, 1, 30)
+        with pytest.raises(CompletenessError):
+            verify_batch_result(
+                batch,
+                strawman_system.headers(),
+                strawman_system.config,
+                addresses,
+                expected_range=(1, 48),
+            )
+
+    def test_stale_tip_rejected(self, strawman_system, probe_addresses):
+        addresses = [probe_addresses["Addr1"]]
+        batch = answer_batch_query(strawman_system, addresses)
+        with pytest.raises(CompletenessError):
+            verify_batch_result(
+                batch,
+                strawman_system.headers()[:-2],
+                strawman_system.config,
+                addresses,
+            )
+
+
+class TestHeaderBfBatch:
+    def test_batch_on_header_bf_strawman(self, workload, probe_addresses):
+        """The §IV-A original strawman: filters live in headers, batches
+        carry only resolutions."""
+        from repro.query.builder import build_system
+        from repro.query.config import SystemConfig
+
+        config = SystemConfig.strawman_header_bf(bf_bytes=96)
+        system = build_system(workload.bodies, config)
+        addresses = [probe_addresses["Addr1"], probe_addresses["Addr6"]]
+        batch = answer_batch_query(system, addresses)
+        payload = batch.serialize(config)
+        restored = BatchQueryResult.deserialize(payload, config)
+        histories = verify_batch_result(
+            restored, system.headers(), config, addresses
+        )
+        for address in addresses:
+            assert [
+                (h, tx.txid()) for h, tx in histories[address].transactions
+            ] == _truth(workload, address)
+        # No filter bytes at all in the message.
+        assert len(payload) < 100 + sum(
+            len(r.serialize()) if r is not None else 1
+            for answers in restored.per_address_answers
+            for r in answers
+        ) + 200
+
+
+class TestBmtBatchTampering:
+    def test_cross_address_segment_swap_rejected(
+        self, lvq_system, probe_addresses
+    ):
+        """Serving address A's segment proofs as address B's must fail
+        (their multiproofs check different bit positions)."""
+        addresses = [probe_addresses["Addr5"], probe_addresses["Addr6"]]
+        batch = answer_batch_query(lvq_system, addresses)
+        batch.per_address_segments[0], batch.per_address_segments[1] = (
+            batch.per_address_segments[1],
+            batch.per_address_segments[0],
+        )
+        with pytest.raises(VerificationError):
+            verify_batch_result(
+                batch, lvq_system.headers(), lvq_system.config, addresses
+            )
+
+
+class TestValidation:
+    def test_empty_batch_rejected(self, strawman_system):
+        with pytest.raises(QueryError):
+            answer_batch_query(strawman_system, [])
+
+    def test_duplicate_addresses_rejected(
+        self, strawman_system, probe_addresses
+    ):
+        address = probe_addresses["Addr1"]
+        with pytest.raises(ProofError):
+            answer_batch_query(strawman_system, [address, address])

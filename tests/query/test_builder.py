@@ -1,0 +1,97 @@
+"""Unit tests for chain assembly under each system config."""
+
+import pytest
+
+from repro.chain.block import (
+    BloomExtension,
+    BloomHashExtension,
+    BloomHashSmtExtension,
+    BmtExtension,
+    LvqExtension,
+)
+from repro.chain.segments import merge_span
+from repro.errors import QueryError
+from repro.query.builder import build_system
+from repro.query.config import SystemConfig, SystemKind, bf_commitment
+
+
+class TestHeadersPerSystem:
+    def test_extension_types(self, any_system):
+        expected = {
+            SystemKind.STRAWMAN_HEADER_BF: BloomExtension,
+            SystemKind.STRAWMAN: BloomHashExtension,
+            SystemKind.LVQ_NO_BMT: BloomHashSmtExtension,
+            SystemKind.LVQ_NO_SMT: BmtExtension,
+            SystemKind.LVQ: LvqExtension,
+        }[any_system.config.kind]
+        for header in any_system.headers():
+            assert isinstance(header.extension, expected)
+
+    def test_linkage_valid(self, any_system):
+        headers = any_system.headers()
+        for height in range(1, len(headers)):
+            assert headers[height].prev_hash == headers[height - 1].block_id()
+
+    def test_merkle_roots_match_bodies(self, any_system):
+        for height, tree in enumerate(any_system.merkle_trees):
+            assert any_system.headers()[height].merkle_root == tree.root
+
+
+class TestCommitments:
+    def test_bf_hash_commitment(self, strawman_system):
+        for height, header in enumerate(strawman_system.headers()):
+            assert header.extension.bloom_hash == bf_commitment(
+                strawman_system.filters[height]
+            )
+
+    def test_smt_roots(self, lvq_system):
+        for height, header in enumerate(lvq_system.headers()):
+            smt = lvq_system.smts[height]
+            assert header.extension.smt_root == smt.root
+
+    def test_bmt_roots_cover_merge_span(self, lvq_system):
+        config = lvq_system.config
+        for height in range(1, lvq_system.tip_height + 1):
+            start, end = merge_span(height, config.segment_len)
+            node = lvq_system.forest.node(start, end)
+            header = lvq_system.headers()[height]
+            assert header.extension.bmt_root == node.hash
+
+    def test_block_filters_contain_block_addresses(self, lvq_system):
+        from repro.chain.address import address_item
+
+        for height in (1, 7, 23):
+            block = lvq_system.chain.block_at(height)
+            bf = lvq_system.filters[height]
+            for address in block.unique_addresses():
+                assert address_item(address) in bf
+
+    def test_smt_counts_match_blocks(self, lvq_system):
+        for height in (1, 5, 17):
+            block = lvq_system.chain.block_at(height)
+            smt = lvq_system.smts[height]
+            for address, count in block.address_counts().items():
+                assert smt.count_of(address) == count
+
+    def test_non_smt_systems_have_no_smts(self, strawman_system):
+        assert all(smt is None for smt in strawman_system.smts)
+
+    def test_non_bmt_systems_have_no_forest(self, strawman_system):
+        assert strawman_system.forest is None
+
+
+class TestBmtTreeAccessor:
+    def test_anchor_tree(self, lvq_system):
+        segment_len = lvq_system.config.segment_len
+        tree = lvq_system.bmt_tree(segment_len)
+        assert (tree.start, tree.end) == (1, segment_len)
+
+    def test_non_bmt_system_raises(self, strawman_system):
+        with pytest.raises(QueryError):
+            strawman_system.bmt_tree(4)
+
+
+class TestBuildValidation:
+    def test_empty_workload_rejected(self):
+        with pytest.raises(QueryError):
+            build_system([], SystemConfig.strawman(64))

@@ -1,0 +1,92 @@
+"""Unit tests for SystemConfig."""
+
+import pytest
+
+from repro.bloom.filter import BloomFilter
+from repro.errors import QueryError
+from repro.query.config import (
+    SystemConfig,
+    SystemKind,
+    bf_commitment,
+    kind_from_value,
+)
+
+
+class TestCapabilities:
+    def test_lvq(self):
+        config = SystemConfig.lvq(bf_bytes=256, segment_len=64)
+        assert config.uses_bmt and config.uses_smt
+        assert not config.ships_block_filters
+        assert config.bf_bits == 2048
+
+    def test_lvq_no_smt(self):
+        config = SystemConfig.lvq_no_smt(bf_bytes=256, segment_len=64)
+        assert config.uses_bmt and not config.uses_smt
+        assert not config.ships_block_filters
+
+    def test_lvq_no_bmt(self):
+        config = SystemConfig.lvq_no_bmt(bf_bytes=128)
+        assert not config.uses_bmt and config.uses_smt
+        assert config.ships_block_filters
+
+    def test_strawman(self):
+        config = SystemConfig.strawman(bf_bytes=128)
+        assert not config.uses_bmt and not config.uses_smt
+        assert config.ships_block_filters
+
+    def test_strawman_header_bf(self):
+        config = SystemConfig.strawman_header_bf(bf_bytes=128)
+        assert not config.ships_block_filters  # it lives in the header
+
+
+class TestValidation:
+    def test_bmt_systems_need_segment_len(self):
+        with pytest.raises(QueryError):
+            SystemConfig(SystemKind.LVQ, bf_bytes=128)
+
+    def test_segment_len_power_of_two(self):
+        with pytest.raises(QueryError):
+            SystemConfig.lvq(bf_bytes=128, segment_len=48)
+
+    def test_non_bmt_systems_reject_segment_len(self):
+        with pytest.raises(QueryError):
+            SystemConfig(SystemKind.STRAWMAN, bf_bytes=128, segment_len=64)
+
+    def test_positive_bf(self):
+        with pytest.raises(QueryError):
+            SystemConfig.strawman(bf_bytes=0)
+
+    def test_positive_hashes(self):
+        with pytest.raises(QueryError):
+            SystemConfig.strawman(bf_bytes=64, num_hashes=0)
+
+    def test_equality(self):
+        assert SystemConfig.lvq(128, 64) == SystemConfig.lvq(128, 64)
+        assert SystemConfig.lvq(128, 64) != SystemConfig.lvq(128, 128)
+        assert SystemConfig.strawman(128) != SystemConfig.lvq_no_bmt(128)
+
+
+class TestBfCommitment:
+    def test_deterministic(self):
+        bf = BloomFilter(256, 3)
+        bf.add(b"x")
+        assert bf_commitment(bf) == bf_commitment(bf)
+
+    def test_sensitive_to_content(self):
+        a = BloomFilter(256, 3)
+        b = BloomFilter(256, 3)
+        b.add(b"x")
+        assert bf_commitment(a) != bf_commitment(b)
+
+    def test_32_bytes(self):
+        assert len(bf_commitment(BloomFilter(64, 1))) == 32
+
+
+class TestKindLookup:
+    def test_roundtrip(self):
+        for kind in SystemKind:
+            assert kind_from_value(kind.value) is kind
+
+    def test_unknown_rejected(self):
+        with pytest.raises(QueryError):
+            kind_from_value("nope")

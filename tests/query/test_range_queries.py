@@ -1,0 +1,229 @@
+"""Tests for the range-query extension (verifiable history over a slice).
+
+The paper notes "a query of larger range can be performed similarly";
+this extension also supports *smaller* ranges: the prover ships
+restricted BMT multiproofs whose out-of-range subtrees are (hash, bf)
+stubs, and the verifier guarantees completeness over exactly the
+requested height range.
+"""
+
+import pytest
+
+from repro.errors import (
+    CompletenessError,
+    QueryError,
+    VerificationError,
+)
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.query.prover import answer_query
+from repro.query.result import QueryResult
+from repro.query.verifier import verify_result
+
+
+def truth_in_range(workload, address, first, last):
+    return [
+        (h, tx.txid())
+        for h, tx in workload.history_of(address)
+        if first <= h <= last
+    ]
+
+
+RANGES = [(1, 5), (3, 19), (16, 17), (17, 48), (1, 48), (33, 48), (5, 40)]
+
+
+class TestHonestRangeQueries:
+    @pytest.mark.parametrize("first,last", RANGES)
+    def test_every_system_every_probe(
+        self, workload, any_system, probe_addresses, first, last
+    ):
+        headers = any_system.headers()
+        for name, address in probe_addresses.items():
+            result = answer_query(any_system, address, first, last)
+            history = verify_result(
+                result, headers, any_system.config, address, (first, last)
+            )
+            assert [
+                (h, tx.txid()) for h, tx in history.transactions
+            ] == truth_in_range(workload, address, first, last), (
+                f"{any_system.config.kind.value}/{name} range=[{first},{last}]"
+            )
+
+    def test_single_block_range(self, workload, lvq_system, probe_addresses):
+        address = probe_addresses["Addr6"]
+        active = sorted({h for h, _ in workload.history_of(address)})
+        height = active[0]
+        result = answer_query(lvq_system, address, height, height)
+        history = verify_result(
+            result, lvq_system.headers(), lvq_system.config, address
+        )
+        assert history.heights() == [height]
+
+    def test_range_result_smaller_than_full(
+        self, lvq_system, probe_addresses
+    ):
+        """A narrow range must cost (much) less than the full query."""
+        config = lvq_system.config
+        address = probe_addresses["Addr1"]
+        full = answer_query(lvq_system, address).size_bytes(config)
+        narrow = answer_query(lvq_system, address, 20, 24).size_bytes(config)
+        assert narrow < full
+
+    def test_stubs_present_only_for_partial_segments(
+        self, lvq_system, probe_addresses
+    ):
+        # A busy address forces descent everywhere, so out-of-range
+        # subtrees must appear as stubs in a partial-segment proof.  (A
+        # sparse address may legitimately need none: a clean endpoint high
+        # in the tree covers the range without descending.)
+        address = probe_addresses["Addr6"]
+        result = answer_query(lvq_system, address, 3, 10)  # inside [1,16]
+        [segment] = result.segments
+        assert segment.multiproof.num_stubs() > 0
+        full = answer_query(lvq_system, address)
+        assert all(s.multiproof.num_stubs() == 0 for s in full.segments)
+
+    def test_rpc_path(self, workload, lvq_system, probe_addresses):
+        full_node = FullNode(lvq_system)
+        light_node = LightNode.from_full_node(full_node)
+        address = probe_addresses["Addr5"]
+        history = light_node.query_history(
+            full_node, address, first_height=10, last_height=30
+        )
+        assert [
+            (h, tx.txid()) for h, tx in history.transactions
+        ] == truth_in_range(workload, address, 10, 30)
+
+
+class TestRangeValidation:
+    def test_bad_ranges_rejected_at_prover(self, lvq_system):
+        with pytest.raises(QueryError):
+            answer_query(lvq_system, "1x", 0, 5)
+        with pytest.raises(QueryError):
+            answer_query(lvq_system, "1x", 5, 3)
+        with pytest.raises(QueryError):
+            answer_query(lvq_system, "1x", 1, lvq_system.tip_height + 1)
+
+    def test_result_constructor_validates_range(self):
+        from repro.query.config import SystemKind
+
+        with pytest.raises(Exception):
+            QueryResult(
+                SystemKind.LVQ, "1x", 10, segments=[], first_height=5,
+                last_height=11,
+            )
+
+    def test_answered_range_must_match_request(
+        self, lvq_system, probe_addresses
+    ):
+        """A prover silently narrowing the question is caught."""
+        address = probe_addresses["Addr6"]
+        narrow = answer_query(lvq_system, address, 5, 20)
+        with pytest.raises(CompletenessError):
+            verify_result(
+                narrow,
+                lvq_system.headers(),
+                lvq_system.config,
+                address,
+                expected_range=(1, 48),
+            )
+
+
+class TestRangeTampering:
+    def test_stub_hiding_inrange_block_rejected(
+        self, workload, lvq_system, probe_addresses
+    ):
+        """Replaying a narrower proof as a wider one must fail: its stubs
+        would intrude into the queried range."""
+        address = probe_addresses["Addr6"]
+        narrow = answer_query(lvq_system, address, 5, 8)
+        # Claim the same proofs answer [3,10].
+        forged = QueryResult(
+            narrow.kind,
+            address,
+            narrow.tip_height,
+            segments=narrow.segments,
+            first_height=3,
+            last_height=10,
+        )
+        with pytest.raises(VerificationError):
+            verify_result(
+                forged, lvq_system.headers(), lvq_system.config, address
+            )
+
+    def test_dropped_partial_segment_rejected(
+        self, lvq_system, probe_addresses
+    ):
+        address = probe_addresses["Addr4"]
+        result = answer_query(lvq_system, address, 3, 35)
+        assert len(result.segments) >= 2
+        result.segments.pop()
+        with pytest.raises(CompletenessError):
+            verify_result(
+                result, lvq_system.headers(), lvq_system.config, address
+            )
+
+    def test_missing_resolution_in_range_rejected(
+        self, workload, lvq_system, probe_addresses
+    ):
+        address = probe_addresses["Addr6"]
+        active = sorted({h for h, _ in workload.history_of(address)})
+        first, last = active[0], active[-1]
+        result = answer_query(lvq_system, address, first, last)
+        for segment in result.segments:
+            if segment.resolutions:
+                del segment.resolutions[sorted(segment.resolutions)[0]]
+                break
+        with pytest.raises(CompletenessError):
+            verify_result(
+                result, lvq_system.headers(), lvq_system.config, address
+            )
+
+    def test_full_range_query_rejects_stubs(
+        self, lvq_system, probe_addresses
+    ):
+        """Stub nodes may never appear in a whole-chain proof."""
+        address = probe_addresses["Addr1"]
+        narrow = answer_query(lvq_system, address, 1, 8)
+        [segment] = narrow.segments
+        if segment.multiproof.num_stubs() == 0:
+            pytest.skip("no stubs generated for this range")
+        forged = QueryResult(
+            narrow.kind,
+            address,
+            narrow.tip_height,
+            segments=narrow.segments,
+            first_height=1,
+            last_height=16,
+        )
+        with pytest.raises(VerificationError):
+            verify_result(
+                forged, lvq_system.headers(), lvq_system.config, address
+            )
+
+
+class TestRangeOnPerBlockSystems:
+    def test_strawman_range(self, workload, strawman_system, probe_addresses):
+        address = probe_addresses["Addr5"]
+        result = answer_query(strawman_system, address, 7, 29)
+        assert len(result.blocks) == 23
+        history = verify_result(
+            result, strawman_system.headers(), strawman_system.config, address
+        )
+        assert [
+            (h, tx.txid()) for h, tx in history.transactions
+        ] == truth_in_range(workload, address, 7, 29)
+
+    def test_truncated_range_answer_rejected(
+        self, strawman_system, probe_addresses
+    ):
+        address = probe_addresses["Addr5"]
+        result = answer_query(strawman_system, address, 7, 29)
+        result.blocks.pop()
+        with pytest.raises(CompletenessError):
+            verify_result(
+                result,
+                strawman_system.headers(),
+                strawman_system.config,
+                address,
+            )

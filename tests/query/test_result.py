@@ -1,0 +1,126 @@
+"""Unit tests for QueryResult serialization and size accounting."""
+
+import pytest
+
+from repro.errors import EncodingError, ProofError
+from repro.query.config import SystemConfig
+from repro.query.prover import answer_query
+from repro.query.result import QueryResult
+from repro.query.verifier import verify_result
+
+
+class TestSerializationRoundtrip:
+    def test_every_system_every_probe(self, any_system, probe_addresses):
+        config = any_system.config
+        headers = any_system.headers()
+        for address in probe_addresses.values():
+            result = answer_query(any_system, address)
+            payload = result.serialize(config)
+            restored = QueryResult.deserialize(payload, config)
+            assert restored.serialize(config) == payload
+            # The deserialized result must verify exactly like the original.
+            verify_result(restored, headers, config, address)
+
+    def test_trailing_garbage_rejected(self, lvq_system, probe_addresses):
+        config = lvq_system.config
+        payload = answer_query(
+            lvq_system, probe_addresses["Addr1"]
+        ).serialize(config)
+        with pytest.raises(EncodingError):
+            QueryResult.deserialize(payload + b"\x00", config)
+
+    def test_truncation_rejected(self, lvq_system, probe_addresses):
+        config = lvq_system.config
+        payload = answer_query(
+            lvq_system, probe_addresses["Addr6"]
+        ).serialize(config)
+        with pytest.raises(EncodingError):
+            QueryResult.deserialize(payload[:-2], config)
+
+    def test_wrong_config_kind_rejected(self, lvq_system, probe_addresses):
+        result = answer_query(lvq_system, probe_addresses["Addr1"])
+        with pytest.raises(ProofError):
+            result.serialize(SystemConfig.strawman(bf_bytes=96))
+
+
+class TestConstruction:
+    def test_needs_exactly_one_payload(self, lvq_system, probe_addresses):
+        from repro.query.config import SystemKind
+
+        with pytest.raises(ProofError):
+            QueryResult(SystemKind.LVQ, "1x", 4, segments=None, blocks=None)
+        with pytest.raises(ProofError):
+            QueryResult(SystemKind.LVQ, "1x", 4, segments=[], blocks=[])
+
+    def test_endpoints_only_on_segment_results(
+        self, strawman_system, probe_addresses
+    ):
+        result = answer_query(strawman_system, probe_addresses["Addr1"])
+        with pytest.raises(ProofError):
+            result.num_endpoints()
+
+
+class TestSizeAccounting:
+    def test_size_is_len_serialize(self, any_system, probe_addresses):
+        config = any_system.config
+        for address in probe_addresses.values():
+            result = answer_query(any_system, address)
+            assert result.size_bytes(config) == len(result.serialize(config))
+
+    def test_breakdown_sums_to_total(self, any_system, probe_addresses):
+        config = any_system.config
+        for address in probe_addresses.values():
+            result = answer_query(any_system, address)
+            sizes = result.breakdown(config)
+            parts = (
+                sizes.bf_bytes
+                + sizes.bmt_bytes
+                + sizes.smt_bytes
+                + sizes.mt_bytes
+                + sizes.tx_bytes
+                + sizes.ib_bytes
+                + sizes.framing_bytes
+            )
+            assert parts == sizes.total_bytes
+            assert sizes.framing_bytes >= 0
+
+    def test_lvq_dominated_by_bmt_for_empty_address(
+        self, lvq_system, probe_addresses
+    ):
+        """Fig 14's claim: BMT branches are the bulk of the result."""
+        result = answer_query(lvq_system, probe_addresses["Addr1"])
+        sizes = result.breakdown(lvq_system.config)
+        assert sizes.bmt_ratio() > 0.8
+
+    def test_strawman_dominated_by_filters_for_empty_address(
+        self, strawman_system, probe_addresses
+    ):
+        result = answer_query(strawman_system, probe_addresses["Addr1"])
+        sizes = result.breakdown(strawman_system.config)
+        assert sizes.bf_bytes >= 0.9 * sizes.total_bytes
+
+    def test_strawman_filter_bytes_exact(self, strawman_system, probe_addresses):
+        """Per-block filters cost exactly blocks × bf_bytes."""
+        result = answer_query(strawman_system, probe_addresses["Addr1"])
+        sizes = result.breakdown(strawman_system.config)
+        assert sizes.bf_bytes == (
+            strawman_system.tip_height * strawman_system.config.bf_bytes
+        )
+
+    def test_busy_address_has_tx_and_mt_bytes(
+        self, lvq_system, probe_addresses
+    ):
+        result = answer_query(lvq_system, probe_addresses["Addr6"])
+        sizes = result.breakdown(lvq_system.config)
+        assert sizes.tx_bytes > 0
+        assert sizes.mt_bytes > 0
+        assert sizes.smt_bytes > 0
+
+    def test_bmt_ratio_zero_for_non_bmt(self, strawman_system, probe_addresses):
+        result = answer_query(strawman_system, probe_addresses["Addr1"])
+        assert result.breakdown(strawman_system.config).bmt_ratio() == 0.0
+
+    def test_as_dict_keys(self, lvq_system, probe_addresses):
+        result = answer_query(lvq_system, probe_addresses["Addr1"])
+        sizes = result.breakdown(lvq_system.config).as_dict()
+        assert set(sizes) == {"bf", "bmt", "smt", "mt", "tx", "ib", "framing", "total"}

@@ -1,0 +1,160 @@
+"""Tests for on-disk chain and header persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import ChainError
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.query.builder import build_system
+from repro.query.config import SystemConfig
+from repro.query.prover import answer_query
+from repro.query.verifier import verify_result
+from repro.storage.chain_store import (
+    load_headers,
+    load_system,
+    save_headers,
+    save_system,
+)
+from repro.workload.generator import WorkloadParams, generate_workload
+from repro.workload.profiles import ProbeProfile
+
+
+@pytest.fixture(scope="module")
+def small_system():
+    workload = generate_workload(
+        WorkloadParams(
+            num_blocks=16,
+            txs_per_block=6,
+            seed=5,
+            probes=[ProbeProfile("P", 4, 3)],
+        )
+    )
+    system = build_system(
+        workload.bodies, SystemConfig.lvq(bf_bytes=160, segment_len=8)
+    )
+    return workload, system
+
+
+class TestSystemRoundtrip:
+    def test_save_load_identical(self, small_system, tmp_path):
+        workload, system = small_system
+        save_system(system, tmp_path / "chain")
+        loaded = load_system(tmp_path / "chain")
+        assert loaded.config == system.config
+        assert loaded.tip_height == system.tip_height
+        for original, restored in zip(system.headers(), loaded.headers()):
+            assert original.serialize() == restored.serialize()
+
+    def test_loaded_system_answers_queries(self, small_system, tmp_path):
+        workload, system = small_system
+        save_system(system, tmp_path / "chain")
+        loaded = load_system(tmp_path / "chain")
+        address = workload.probe_addresses["P"]
+        result = answer_query(loaded, address)
+        history = verify_result(
+            result, loaded.headers(), loaded.config, address
+        )
+        assert len(history.transactions) == 4
+
+    def test_loaded_system_can_grow(self, small_system, tmp_path):
+        workload, system = small_system
+        save_system(system, tmp_path / "chain")
+        loaded = load_system(tmp_path / "chain")
+        extra = workload.bodies[3]  # any valid body works structurally
+        loaded.append_block(extra)
+        assert loaded.tip_height == system.tip_height + 1
+
+    def test_save_is_idempotent(self, small_system, tmp_path):
+        _workload, system = small_system
+        save_system(system, tmp_path / "chain")
+        save_system(system, tmp_path / "chain")
+        assert load_system(tmp_path / "chain").tip_height == system.tip_height
+
+
+class TestCorruptionDetection:
+    def _saved(self, small_system, tmp_path):
+        _workload, system = small_system
+        directory = tmp_path / "chain"
+        save_system(system, directory)
+        return directory
+
+    def test_missing_manifest(self, small_system, tmp_path):
+        directory = self._saved(small_system, tmp_path)
+        (directory / "manifest.json").unlink()
+        with pytest.raises(ChainError):
+            load_system(directory)
+
+    def test_corrupt_manifest(self, small_system, tmp_path):
+        directory = self._saved(small_system, tmp_path)
+        (directory / "manifest.json").write_text("{not json")
+        with pytest.raises(ChainError):
+            load_system(directory)
+
+    def test_unsupported_format(self, small_system, tmp_path):
+        directory = self._saved(small_system, tmp_path)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["format"] = 99
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ChainError):
+            load_system(directory)
+
+    def test_truncated_bodies(self, small_system, tmp_path):
+        directory = self._saved(small_system, tmp_path)
+        raw = (directory / "bodies.dat").read_bytes()
+        (directory / "bodies.dat").write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ChainError):
+            load_system(directory)
+
+    def test_flipped_body_byte(self, small_system, tmp_path):
+        directory = self._saved(small_system, tmp_path)
+        raw = bytearray((directory / "bodies.dat").read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        (directory / "bodies.dat").write_bytes(bytes(raw))
+        with pytest.raises(ChainError):
+            load_system(directory)
+
+    def test_header_body_mismatch(self, small_system, tmp_path):
+        directory = self._saved(small_system, tmp_path)
+        raw = bytearray((directory / "headers.dat").read_bytes())
+        raw[-1] ^= 0x01
+        (directory / "headers.dat").write_bytes(bytes(raw))
+        with pytest.raises(ChainError):
+            load_system(directory)
+
+    def test_missing_bodies_file(self, small_system, tmp_path):
+        directory = self._saved(small_system, tmp_path)
+        (directory / "bodies.dat").unlink()
+        with pytest.raises(ChainError):
+            load_system(directory)
+
+
+class TestHeaderFiles:
+    def test_roundtrip(self, small_system, tmp_path):
+        _workload, system = small_system
+        path = tmp_path / "headers.dat"
+        save_headers(system.headers(), path)
+        loaded = load_headers(path, system.config)
+        assert [h.serialize() for h in loaded] == [
+            h.serialize() for h in system.headers()
+        ]
+
+    def test_light_node_from_file(self, small_system, tmp_path):
+        workload, system = small_system
+        path = tmp_path / "headers.dat"
+        save_headers(system.headers(), path)
+        light_node = LightNode(load_headers(path, system.config), system.config)
+        full_node = FullNode(system)
+        address = workload.probe_addresses["P"]
+        history = light_node.query_history(full_node, address)
+        assert len(history.transactions) == 4
+
+    def test_unlinked_headers_rejected(self, small_system, tmp_path):
+        _workload, system = small_system
+        headers = system.headers()
+        shuffled = [headers[0], headers[2], headers[1]]
+        path = tmp_path / "broken.dat"
+        save_headers(shuffled, path)
+        with pytest.raises(ChainError):
+            load_headers(path, system.config)

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+CHAIN_ARGS = ["--blocks", "24", "--txs-per-block", "8", "--bf-bytes", "128"]
+
+
+class TestQueryCommand:
+    def test_probe_by_name(self, capsys):
+        code, out = run_cli(
+            capsys, "query", *CHAIN_ARGS, "--address", "Addr2"
+        )
+        assert code == 0
+        assert "balance (Eq 1)" in out
+        assert "proof bytes" in out
+
+    def test_verbose_lists_transactions(self, capsys):
+        code, out = run_cli(
+            capsys, "query", *CHAIN_ARGS, "--address", "Addr3", "--verbose"
+        )
+        assert code == 0
+        assert "h=" in out
+
+    def test_literal_unknown_address(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "query",
+            *CHAIN_ARGS,
+            "--address",
+            "1BitcoinEaterAddressDontSendf59kuE",
+        )
+        assert code == 0
+        assert "transactions  : 0" in out
+
+    def test_range_query(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "query",
+            *CHAIN_ARGS,
+            "--address",
+            "Addr5",
+            "--range",
+            "5",
+            "15",
+        )
+        assert code == 0
+        assert "proof bytes" in out
+
+
+class TestCompareCommand:
+    def test_table_shape(self, capsys):
+        code, out = run_cli(capsys, "compare", *CHAIN_ARGS)
+        assert code == 0
+        for column in ("strawman", "lvq_no_bmt", "lvq_no_smt", "lvq"):
+            assert column in out
+        for probe in ("Addr1", "Addr6"):
+            assert probe in out
+
+
+class TestStorageCommand:
+    def test_rows(self, capsys):
+        code, out = run_cli(capsys, "storage", *CHAIN_ARGS)
+        assert code == 0
+        assert "strawman_header_bf" in out
+        assert "vs Bitcoin" in out
+
+
+class TestAttackCommand:
+    def test_all_attacks_handled(self, capsys):
+        code, out = run_cli(capsys, "attack", *CHAIN_ARGS)
+        assert code == 0, "an attack went undetected"
+        assert "rejected" in out
+        assert "ACCEPTED" not in out
+
+
+class TestWalletCommand:
+    def test_wallet_session(self, capsys):
+        code, out = run_cli(
+            capsys, "wallet", *CHAIN_ARGS, "--watch", "Addr2", "Addr4"
+        )
+        assert code == 0
+        assert "Total:" in out
+        assert "Verified balance" in out
+
+    def test_wallet_save_and_reload(self, capsys, tmp_path):
+        target = str(tmp_path / "wallet")
+        code, out = run_cli(
+            capsys,
+            "wallet",
+            *CHAIN_ARGS,
+            "--watch",
+            "Addr2",
+            "--save",
+            target,
+        )
+        assert code == 0
+        from repro.wallet import Wallet
+
+        restored = Wallet.load(target)
+        assert len(restored.addresses) == 1
+
+
+class TestSegmentsCommand:
+    def test_tables(self, capsys):
+        code, out = run_cli(capsys, "segments", "--tip", "466")
+        assert code == 0
+        assert "1, 2, 3, 4, 5, 6, 7, 8" in out
+        assert "[465,466]" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

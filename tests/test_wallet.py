@@ -1,0 +1,155 @@
+"""Tests for the watch-only wallet."""
+
+import pytest
+
+from repro.chain.utxo import balance_from_history
+from repro.errors import ReproError, VerificationError
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.query.adversary import MaliciousFullNode, omit_one_transaction
+from repro.wallet import Wallet
+
+
+@pytest.fixture()
+def wallet(lvq_system, probe_addresses):
+    light_node = LightNode(lvq_system.headers(), lvq_system.config)
+    return Wallet(light_node, probe_addresses.values())
+
+
+class TestWatching:
+    def test_watch_is_idempotent(self, wallet, probe_addresses):
+        before = len(wallet.addresses)
+        wallet.watch(probe_addresses["Addr1"])
+        assert len(wallet.addresses) == before
+
+    def test_unwatch(self, wallet, probe_addresses):
+        wallet.unwatch(probe_addresses["Addr1"])
+        assert probe_addresses["Addr1"] not in wallet.addresses
+
+    def test_empty_address_rejected(self, wallet):
+        with pytest.raises(ValueError):
+            wallet.watch("")
+
+    def test_balance_requires_refresh(self, wallet, probe_addresses):
+        with pytest.raises(VerificationError):
+            wallet.balance(probe_addresses["Addr1"])
+
+
+class TestRefresh:
+    def test_balances_match_truth(self, workload, lvq_system, wallet):
+        full_node = FullNode(lvq_system)
+        balances = wallet.refresh(full_node)
+        for name, address in workload.probe_addresses.items():
+            expected = balance_from_history(
+                address, (tx for _h, tx in workload.history_of(address))
+            )
+            assert balances[address] == expected, name
+
+    def test_total_balance(self, workload, lvq_system, wallet):
+        wallet.refresh(FullNode(lvq_system))
+        assert wallet.total_balance() == sum(wallet.balances().values())
+
+    def test_activity_sorted_by_height(self, lvq_system, wallet):
+        wallet.refresh(FullNode(lvq_system))
+        heights = [height for height, _addr, _tx in wallet.activity()]
+        assert heights == sorted(heights)
+
+    def test_refresh_empty_wallet(self, lvq_system, probe_addresses):
+        light_node = LightNode(lvq_system.headers(), lvq_system.config)
+        wallet = Wallet(light_node)
+        assert wallet.refresh(FullNode(lvq_system)) == {}
+
+    def test_lying_node_rejected_and_state_kept(
+        self, workload, lvq_system, wallet, probe_addresses
+    ):
+        honest = FullNode(lvq_system)
+        wallet.refresh(honest)
+        before = wallet.balances()
+        liar = MaliciousFullNode(lvq_system, omit_one_transaction)
+        with pytest.raises(VerificationError):
+            wallet.refresh(liar)
+        assert wallet.balances() == before
+
+
+class TestSync:
+    def test_sync_grows_and_refreshes(self, workload, probe_addresses):
+        from repro.query.builder import build_system
+        from repro.query.config import SystemConfig
+
+        config = SystemConfig.lvq(bf_bytes=192, segment_len=16)
+        system = build_system(workload.bodies, config)
+        stale_light = LightNode(system.headers()[:30], config)
+        wallet = Wallet(stale_light, [probe_addresses["Addr6"]])
+        full_node = FullNode(system)
+        replaced, appended = wallet.sync(full_node)
+        assert replaced == 0
+        assert appended == len(workload.bodies) - 30
+        truth = balance_from_history(
+            probe_addresses["Addr6"],
+            (
+                tx
+                for _h, tx in workload.history_of(probe_addresses["Addr6"])
+            ),
+        )
+        assert wallet.balance(probe_addresses["Addr6"]) == truth
+
+
+class TestWalletReorg:
+    def test_wallet_follows_longer_fork(self, probe_addresses):
+        from repro.query.builder import build_system
+        from repro.query.config import SystemConfig
+        from repro.workload.generator import (
+            WorkloadParams,
+            generate_workload,
+        )
+        from repro.workload.profiles import ProbeProfile
+
+        config = SystemConfig.lvq(bf_bytes=160, segment_len=8)
+        base = generate_workload(
+            WorkloadParams(num_blocks=16, txs_per_block=6, seed=8,
+                           probes=[ProbeProfile("W", 3, 2)])
+        )
+        longer = generate_workload(
+            WorkloadParams(num_blocks=24, txs_per_block=6, seed=9,
+                           probes=[ProbeProfile("W", 3, 2)])
+        )
+        system_a = build_system(base.bodies, config)
+        bodies_b = base.bodies[:9] + longer.bodies[9:25]
+        system_b = build_system(bodies_b, config)
+
+        wallet = Wallet(
+            LightNode(system_a.headers(), config),
+            [base.probe_addresses["W"]],
+        )
+        wallet.refresh(FullNode(system_a))
+        replaced, appended = wallet.sync(FullNode(system_b))
+        assert replaced == 8 and appended == 16
+        # Balances now reflect fork B's history for the shared address.
+        address = base.probe_addresses["W"]
+        truth = 0
+        for height, body in enumerate(bodies_b):
+            for tx in body:
+                truth += tx.received_by(address) - tx.sent_by(address)
+        assert wallet.balance(address) == truth
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, lvq_system, wallet, tmp_path):
+        wallet.refresh(FullNode(lvq_system))
+        wallet.save(tmp_path / "wallet")
+        restored = Wallet.load(tmp_path / "wallet")
+        assert restored.addresses == wallet.addresses
+        assert restored.light_node.tip_height == wallet.light_node.tip_height
+        # Fresh instance has no verified state until it refreshes.
+        restored.refresh(FullNode(lvq_system))
+        assert restored.balances() == wallet.balances()
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(ReproError):
+            Wallet.load(tmp_path / "nope")
+
+    def test_load_corrupt_manifest(self, lvq_system, wallet, tmp_path):
+        wallet.save(tmp_path / "wallet")
+        (tmp_path / "wallet" / "wallet.json").write_text("{oops")
+        with pytest.raises(ReproError):
+            Wallet.load(tmp_path / "wallet")

@@ -1,0 +1,126 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.chain.utxo import UtxoSet
+from repro.errors import WorkloadError
+from repro.workload.generator import (
+    GeneratedWorkload,
+    WorkloadParams,
+    generate_workload,
+)
+from repro.workload.profiles import ProbeProfile
+
+
+@pytest.fixture(scope="module")
+def small():
+    params = WorkloadParams(
+        num_blocks=24,
+        txs_per_block=8,
+        seed=123,
+        probes=[
+            ProbeProfile("P0", 0, 0),
+            ProbeProfile("P1", 1, 1),
+            ProbeProfile("P2", 9, 4),
+            ProbeProfile("P3", 15, 12),
+        ],
+    )
+    return generate_workload(params)
+
+
+class TestShape:
+    def test_block_count(self, small):
+        assert len(small.bodies) == 25  # genesis + 24
+
+    def test_genesis_is_single_coinbase(self, small):
+        genesis = small.bodies[0]
+        assert len(genesis) == 1
+        assert genesis[0].is_coinbase
+
+    def test_every_block_starts_with_coinbase(self, small):
+        for height in range(1, 25):
+            assert small.bodies[height][0].is_coinbase
+
+    def test_background_tx_count(self, small):
+        for height in range(1, 25):
+            # coinbase + background (+ maybe probe txs)
+            assert len(small.bodies[height]) >= 1 + 8
+
+
+class TestDeterminism:
+    def test_same_seed_same_chain(self):
+        params = WorkloadParams(num_blocks=8, txs_per_block=4, seed=9)
+        a = generate_workload(params)
+        b = generate_workload(params)
+        for block_a, block_b in zip(a.bodies, b.bodies):
+            assert [t.txid() for t in block_a] == [t.txid() for t in block_b]
+
+    def test_different_seed_different_chain(self):
+        a = generate_workload(WorkloadParams(num_blocks=8, txs_per_block=4, seed=1))
+        b = generate_workload(WorkloadParams(num_blocks=8, txs_per_block=4, seed=2))
+        assert [t.txid() for t in a.bodies[1]] != [t.txid() for t in b.bodies[1]]
+
+
+class TestProbeFootprints:
+    def test_exact_tx_and_block_counts(self, small):
+        expectations = {"P0": (0, 0), "P1": (1, 1), "P2": (9, 4), "P3": (15, 12)}
+        for name, expected in expectations.items():
+            address = small.probe_addresses[name]
+            assert small.footprint_of(address) == expected
+
+    def test_probes_absent_from_genesis(self, small):
+        genesis_addresses = set()
+        for tx in small.bodies[0]:
+            genesis_addresses.update(tx.addresses())
+        assert not genesis_addresses & set(small.probe_addresses.values())
+
+    def test_probe_addresses_distinct(self, small):
+        addresses = list(small.probe_addresses.values())
+        assert len(set(addresses)) == len(addresses)
+
+    def test_history_of_matches_footprint(self, small):
+        address = small.probe_addresses["P2"]
+        history = small.history_of(address)
+        assert len(history) == 9
+        assert all(tx.involves(address) for _height, tx in history)
+        assert len({height for height, _ in history}) == 4
+
+
+class TestUtxoValidity:
+    def test_chain_replays_cleanly(self, small):
+        """Every input spends a real output with matching address/value."""
+        utxo = UtxoSet()
+        for body in small.bodies:
+            utxo.apply_block(body)
+
+    def test_probe_balances_non_negative(self, small):
+        utxo = UtxoSet()
+        for body in small.bodies:
+            utxo.apply_block(body)
+        for address in small.probe_addresses.values():
+            assert utxo.balance(address) >= 0
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(WorkloadError):
+            WorkloadParams(num_blocks=0)
+        with pytest.raises(WorkloadError):
+            WorkloadParams(num_blocks=4, txs_per_block=0)
+
+    def test_probe_needs_enough_blocks(self):
+        with pytest.raises(WorkloadError):
+            WorkloadParams(
+                num_blocks=4, probes=[ProbeProfile("X", 10, 8)]
+            )
+
+    def test_default_probes_scale(self):
+        params = WorkloadParams(num_blocks=128)
+        names = [p.name for p in params.probes]
+        assert names == [f"Addr{i}" for i in range(1, 7)]
+
+    def test_footprint_of_unknown_address(self, small):
+        assert small.footprint_of("1NotInTheChain") == (0, 0)
+
+    def test_generated_type(self, small):
+        assert isinstance(small, GeneratedWorkload)

@@ -1,0 +1,75 @@
+"""Unit tests for Table III probe profiles."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.profiles import (
+    PAPER_PROBE_PROFILES,
+    ProbeProfile,
+    profile_table,
+    scaled_probe_profiles,
+)
+
+
+class TestPaperProfiles:
+    def test_table_iii_verbatim(self):
+        assert profile_table(PAPER_PROBE_PROFILES) == [
+            ("Addr1", 0, 0),
+            ("Addr2", 1, 1),
+            ("Addr3", 10, 5),
+            ("Addr4", 60, 44),
+            ("Addr5", 324, 289),
+            ("Addr6", 929, 410),
+        ]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ProbeProfile("bad", -1, 0)
+        with pytest.raises(WorkloadError):
+            ProbeProfile("bad", 1, 2)  # more blocks than txs
+        with pytest.raises(WorkloadError):
+            ProbeProfile("bad", 5, 0)  # txs without blocks
+
+    def test_equality(self):
+        assert ProbeProfile("x", 2, 1) == ProbeProfile("x", 2, 1)
+        assert ProbeProfile("x", 2, 1) != ProbeProfile("x", 2, 2)
+
+
+class TestScaling:
+    def test_full_scale_unchanged(self):
+        assert scaled_probe_profiles(4096) == PAPER_PROBE_PROFILES
+        assert scaled_probe_profiles(8192) == PAPER_PROBE_PROFILES
+
+    def test_half_scale(self):
+        scaled = scaled_probe_profiles(2048)
+        by_name = {p.name: p for p in scaled}
+        assert by_name["Addr1"].tx_count == 0
+        assert by_name["Addr2"].tx_count >= 1
+        # Block counts shrink roughly proportionally.
+        assert by_name["Addr6"].block_count == pytest.approx(205, abs=2)
+
+    def test_tx_block_ratio_preserved(self):
+        scaled = scaled_probe_profiles(1024)
+        for original, small in zip(PAPER_PROBE_PROFILES, scaled):
+            if original.tx_count == 0:
+                continue
+            original_ratio = original.tx_count / original.block_count
+            small_ratio = small.tx_count / small.block_count
+            assert small_ratio == pytest.approx(original_ratio, rel=0.25)
+
+    def test_nonempty_probes_stay_nonempty(self):
+        for blocks in (16, 48, 100):
+            scaled = scaled_probe_profiles(blocks)
+            for original, small in zip(PAPER_PROBE_PROFILES, scaled):
+                if original.tx_count > 0:
+                    assert small.tx_count >= 1
+                    assert 1 <= small.block_count <= blocks
+
+    def test_ordering_by_activity_preserved(self):
+        scaled = scaled_probe_profiles(512)
+        tx_counts = [p.tx_count for p in scaled]
+        assert tx_counts == sorted(tx_counts)
+
+    def test_invalid_chain_size(self):
+        with pytest.raises(WorkloadError):
+            scaled_probe_profiles(0)
