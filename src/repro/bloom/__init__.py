@@ -1,7 +1,7 @@
 """Bloom filters and the bit vectors backing them (paper §III-B1)."""
 
 from repro.bloom.bitarray import BitArray
-from repro.bloom.filter import BloomFilter, bloom_positions
+from repro.bloom.filter import BloomFilter, PositionCache, bloom_positions
 from repro.bloom.params import (
     fill_ratio_estimate,
     false_positive_rate,
@@ -13,6 +13,7 @@ __all__ = [
     "BitArray",
     "BloomFilter",
     "bloom_positions",
+    "PositionCache",
     "fill_ratio_estimate",
     "false_positive_rate",
     "optimal_num_hashes",

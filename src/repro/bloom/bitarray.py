@@ -53,9 +53,17 @@ class BitArray:
         self._check_index(index)
         return bool((self._value >> index) & 1)
 
-    def popcount(self) -> int:
-        """Number of set bits."""
-        return bin(self._value).count("1")
+    if hasattr(int, "bit_count"):  # Python >= 3.10
+
+        def popcount(self) -> int:
+            """Number of set bits."""
+            return self._value.bit_count()
+
+    else:  # pragma: no cover - exercised only on Python < 3.10
+
+        def popcount(self) -> int:
+            """Number of set bits (pre-3.10 fallback)."""
+            return bin(self._value).count("1")
 
     def fill_ratio(self) -> float:
         """Fraction of bits set — drives the BMT endpoint distribution."""
@@ -107,8 +115,33 @@ class BitArray:
         return self._value | other._value == other._value
 
     def covers_positions(self, positions: "list[int]") -> bool:
-        """True when *all* ``positions`` are set (a failed BF check)."""
-        return all(self.get(position) for position in positions)
+        """True when *all* ``positions`` are set (a failed BF check).
+
+        Folds the positions into one mask so the test is a single big-int
+        AND rather than one shift per position — this sits on the hot
+        path of every BMT descent and per-block filter check.
+        """
+        mask = 0
+        for position in positions:
+            if not 0 <= position < self._bits:
+                raise IndexError(
+                    f"bit {position} out of range [0, {self._bits})"
+                )
+            mask |= 1 << position
+        return self._value & mask == mask
+
+    def covers_mask(self, mask: int) -> bool:
+        """``covers_positions`` for a pre-folded mask (no bounds checks;
+        callers build the mask once per query via :meth:`positions_mask`)."""
+        return self._value & mask == mask
+
+    @staticmethod
+    def positions_mask(positions: "list[int]") -> int:
+        """Fold bit positions into the int mask ``covers_mask`` expects."""
+        mask = 0
+        for position in positions:
+            mask |= 1 << position
+        return mask
 
     # -- serialization -----------------------------------------------------
 

@@ -38,6 +38,50 @@ def bloom_positions(item: bytes, num_hashes: int, size_bits: int) -> List[int]:
     return [(h1 + i * h2) % size_bits for i in range(num_hashes)]
 
 
+class PositionCache:
+    """Memoized checked-bit positions for one item across geometries.
+
+    Query serving re-checks the same address against many filters that
+    all share one geometry (every per-block BF and every BMT node of a
+    chain), so re-deriving the SHA-256-based positions per check is pure
+    waste.  One cache instance per (query, item) computes each distinct
+    ``(num_hashes, size_bits)`` pair once and replays the list from then
+    on.  Keying on the *filter's own* geometry (not an assumed one)
+    keeps the semantics of :meth:`BloomFilter.might_contain` intact even
+    for adversarial filters with unexpected sizes.
+    """
+
+    __slots__ = ("item", "_cache", "_masks")
+
+    def __init__(self, item: bytes) -> None:
+        self.item = item
+        self._cache: "dict[tuple[int, int], List[int]]" = {}
+        self._masks: "dict[tuple[int, int], int]" = {}
+
+    def positions(self, num_hashes: int, size_bits: int) -> List[int]:
+        key = (num_hashes, size_bits)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = bloom_positions(self.item, num_hashes, size_bits)
+            self._cache[key] = cached
+        return cached
+
+    def mask(self, num_hashes: int, size_bits: int) -> int:
+        """The positions folded into the int mask ``covers_mask`` takes."""
+        key = (num_hashes, size_bits)
+        cached = self._masks.get(key)
+        if cached is None:
+            cached = BitArray.positions_mask(
+                self.positions(num_hashes, size_bits)
+            )
+            self._masks[key] = cached
+        return cached
+
+    def check_fails(self, bf: "BloomFilter") -> bool:
+        """Equivalent to ``bf.might_contain(item)`` without re-hashing."""
+        return bf.bits.covers_mask(self.mask(bf.num_hashes, bf.size_bits))
+
+
 class BloomFilter:
     """A fixed-geometry Bloom filter over byte-string items.
 

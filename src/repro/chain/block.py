@@ -275,24 +275,35 @@ class BlockHeader:
 class Block:
     """A header plus its transaction list."""
 
-    __slots__ = ("header", "transactions", "height")
+    __slots__ = ("header", "transactions", "height", "_merkle_tree")
 
     def __init__(
         self,
         header: BlockHeader,
         transactions: Sequence[Transaction],
         height: int,
+        merkle_tree: Optional[MerkleTree] = None,
     ) -> None:
         if height < 0:
             raise ValueError(f"negative block height {height}")
         self.header = header
         self.transactions = list(transactions)
         self.height = height
+        #: Lazily built and cached; block assembly passes in the tree it
+        #: just built so chain validation never re-hashes every txid.
+        self._merkle_tree = merkle_tree
 
     # -- derived structures -------------------------------------------------
 
     def merkle_tree(self) -> MerkleTree:
-        return build_tx_merkle_tree(self.transactions)
+        """The block's transaction Merkle tree, built once and cached.
+
+        The cache assumes ``transactions`` is not mutated after the
+        first call — blocks on a chain are immutable by construction.
+        """
+        if self._merkle_tree is None:
+            self._merkle_tree = build_tx_merkle_tree(self.transactions)
+        return self._merkle_tree
 
     def address_counts(self) -> "dict[str, int]":
         """Per-address count of distinct transactions touching it — the

@@ -64,6 +64,14 @@ class Blockchain:
         """What a light node stores: every header, bodies stripped."""
         return [block.header for block in self._blocks]
 
+    def headers_from(self, from_height: int) -> List[BlockHeader]:
+        """Headers of blocks at ``from_height`` and above — O(requested),
+        so header sync never materializes the whole chain's header list.
+        ``from_height`` may be ``tip + 1`` (an empty, up-to-date sync)."""
+        if not 0 <= from_height <= len(self._blocks):
+            raise ChainError(f"bad header start height {from_height}")
+        return [block.header for block in self._blocks[from_height:]]
+
     def blocks(self, start: int = 0, end: "int | None" = None) -> List[Block]:
         """Blocks with heights in ``[start, end]`` inclusive."""
         if end is None:

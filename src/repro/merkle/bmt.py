@@ -34,6 +34,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.bloom.bitarray import BitArray
 from repro.bloom.filter import BloomFilter, bloom_positions
 from repro.crypto.encoding import ByteReader, write_varint
 from repro.crypto.hashing import HASH_SIZE, tagged_hash
@@ -185,28 +186,34 @@ class BmtTree:
 
     # -- checking ----------------------------------------------------------
 
-    def find_endpoints(self, item: bytes) -> List[BmtEndpoint]:
-        """Top-down existence check; returns endpoints left to right."""
-        positions = bloom_positions(
-            item, self.root.bf.num_hashes, self.root.bf.size_bits
-        )
+    def find_endpoints(
+        self, item: bytes, positions: "Optional[List[int]]" = None
+    ) -> List[BmtEndpoint]:
+        """Top-down existence check; returns endpoints left to right.
+
+        ``positions`` lets the caller supply the item's precomputed
+        checked-bit positions for this tree's geometry (derived once per
+        query instead of once per tree).
+        """
+        if positions is None:
+            positions = bloom_positions(
+                item, self.root.bf.num_hashes, self.root.bf.size_bits
+            )
         endpoints: List[BmtEndpoint] = []
-        self._descend(self.root, positions, endpoints)
+        self._descend(self.root, BitArray.positions_mask(positions), endpoints)
         return endpoints
 
     @staticmethod
-    def _descend(
-        node: BmtNode, positions: List[int], out: List[BmtEndpoint]
-    ) -> None:
-        if not node.bf.bits.covers_positions(positions):
+    def _descend(node: BmtNode, mask: int, out: List[BmtEndpoint]) -> None:
+        if not node.bf.bits.covers_mask(mask):
             out.append(BmtEndpoint(node, EndpointKind.CLEAN))
             return
         if node.is_leaf:
             out.append(BmtEndpoint(node, EndpointKind.LEAF_FAILED))
             return
         assert node.left is not None and node.right is not None
-        BmtTree._descend(node.left, positions, out)
-        BmtTree._descend(node.right, positions, out)
+        BmtTree._descend(node.left, mask, out)
+        BmtTree._descend(node.right, mask, out)
 
     # -- proofs ------------------------------------------------------------
 
@@ -242,6 +249,8 @@ class BmtTree:
         self,
         item: bytes,
         query_range: "Optional[Tuple[int, int]]" = None,
+        positions: "Optional[List[int]]" = None,
+        failed_heights: "Optional[List[int]]" = None,
     ) -> "BmtMultiProof":
         """Merged inexistence/endpoint proof (Fig 11) for ``item``.
 
@@ -249,10 +258,21 @@ class BmtTree:
         subtrees entirely outside that height range ship as ``(hash, bf)``
         stubs, supporting verifiable range queries over a slice of the
         blocks the tree covers.
+
+        ``positions`` optionally supplies precomputed checked-bit
+        positions (one derivation per query instead of per tree).  When
+        ``failed_heights`` is given, the in-range failed-leaf heights
+        discovered during this descent are appended to it left-to-right —
+        exactly the set :meth:`find_endpoints` would report inside the
+        range, but without a second traversal.  (Both traversals descend
+        precisely through nodes whose checks fail; a failed leaf's
+        ancestors all fail too, because every ancestor filter is a
+        superset union of the leaf's.)
         """
-        positions = bloom_positions(
-            item, self.root.bf.num_hashes, self.root.bf.size_bits
-        )
+        if positions is None:
+            positions = bloom_positions(
+                item, self.root.bf.num_hashes, self.root.bf.size_bits
+            )
         if query_range is None:
             query_range = (self.start, self.end)
         first, last = query_range
@@ -261,13 +281,18 @@ class BmtTree:
                 f"query range [{first},{last}] does not intersect the tree "
                 f"range [{self.start},{self.end}]"
             )
+        mask = BitArray.positions_mask(positions)
         return BmtMultiProof(
-            self._build_proof(self.root, positions, first, last)
+            self._build_proof(self.root, mask, first, last, failed_heights)
         )
 
     @staticmethod
     def _build_proof(
-        node: BmtNode, positions: List[int], first: int, last: int
+        node: BmtNode,
+        mask: int,
+        first: int,
+        last: int,
+        failed_heights: "Optional[List[int]]" = None,
     ) -> "_ProofNode":
         if node.end < first or node.start > last:  # fully outside the range
             if node.is_leaf:
@@ -275,7 +300,7 @@ class BmtTree:
             return _ProofNode(
                 _TAG_STUB_INTERNAL, bf=node.bf, stub_hash=node.hash
             )
-        if not node.bf.bits.covers_positions(positions):
+        if not node.bf.bits.covers_mask(mask):
             if node.is_leaf:
                 return _ProofNode(_TAG_CLEAN_LEAF, bf=node.bf)
             assert node.left is not None and node.right is not None
@@ -285,12 +310,18 @@ class BmtTree:
                 child_hashes=(node.left.hash, node.right.hash),
             )
         if node.is_leaf:
+            if failed_heights is not None:
+                failed_heights.append(node.start)
             return _ProofNode(_TAG_FAILED_LEAF, bf=node.bf)
         assert node.left is not None and node.right is not None
         return _ProofNode(
             _TAG_INTERNAL,
-            left=BmtTree._build_proof(node.left, positions, first, last),
-            right=BmtTree._build_proof(node.right, positions, first, last),
+            left=BmtTree._build_proof(
+                node.left, mask, first, last, failed_heights
+            ),
+            right=BmtTree._build_proof(
+                node.right, mask, first, last, failed_heights
+            ),
         )
 
     def __repr__(self) -> str:
@@ -354,8 +385,13 @@ class BmtMultiProof:
         size_bits: int,
         num_hashes: int,
         query_range: "Optional[Tuple[int, int]]" = None,
+        positions: "Optional[List[int]]" = None,
     ) -> VerifiedBmt:
         """Check the proof against a trusted ``expected_root``.
+
+        ``positions`` optionally supplies the item's precomputed
+        checked-bit positions for ``(num_hashes, size_bits)`` — the
+        caller must have derived them for exactly that geometry.
 
         Raises :class:`VerificationError` on any inconsistency.  On
         success, the union of ``clean_ranges`` and ``failed_heights``
@@ -383,13 +419,14 @@ class BmtMultiProof:
         if first > last:
             raise VerificationError(f"empty query range [{first},{last}]")
         depth = num_blocks.bit_length() - 1
-        positions = bloom_positions(item, num_hashes, size_bits)
+        if positions is None:
+            positions = bloom_positions(item, num_hashes, size_bits)
         result = VerifiedBmt([], [], 0)
         hash_value, _bf = self._verify_node(
             self._root,
             depth,
             start_height,
-            positions,
+            BitArray.positions_mask(positions),
             size_bits,
             result,
             first,
@@ -404,7 +441,7 @@ class BmtMultiProof:
         node: _ProofNode,
         layer: int,
         start: int,
-        positions: List[int],
+        mask: int,
         size_bits: int,
         result: VerifiedBmt,
         first: int,
@@ -419,7 +456,7 @@ class BmtMultiProof:
                 node.left,
                 layer - 1,
                 start,
-                positions,
+                mask,
                 size_bits,
                 result,
                 first,
@@ -429,14 +466,14 @@ class BmtMultiProof:
                 node.right,
                 layer - 1,
                 start + span // 2,
-                positions,
+                mask,
                 size_bits,
                 result,
                 first,
                 last,
             )
             merged = left_bf | right_bf
-            if not merged.bits.covers_positions(positions):
+            if not merged.bits.covers_mask(mask):
                 raise VerificationError(
                     "descent past a node whose check already succeeds "
                     f"(layer {layer}, start {start}) — proof is not minimal"
@@ -468,7 +505,7 @@ class BmtMultiProof:
                 raise VerificationError("internal stub lacks its hash")
             return node.stub_hash, bf
 
-        check_failed = bf.bits.covers_positions(positions)
+        check_failed = bf.bits.covers_mask(mask)
 
         if node.tag == _TAG_CLEAN_LEAF:
             if layer != 0:

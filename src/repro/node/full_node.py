@@ -86,14 +86,15 @@ class FullNode:
 
     def handle_headers(self, payload: bytes) -> bytes:
         request = HeadersRequest.deserialize(payload)
-        headers = self.system.headers()
         if request.from_height > self.tip_height + 1:
             raise QueryError(
                 f"no headers from height {request.from_height}; tip is "
                 f"{self.tip_height}"
             )
+        # Slice the block range first: O(requested headers), not O(chain).
         response = HeadersResponse(
-            request.from_height, headers[request.from_height :]
+            request.from_height,
+            self.system.chain.headers_from(request.from_height),
         )
         return response.serialize()
 

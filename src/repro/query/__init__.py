@@ -29,7 +29,9 @@ from repro.query.fragments import (
     TxWithBranch,
 )
 from repro.query.result import QueryResult, SizeBreakdown
+from repro.query.index import AddressIndex
 from repro.query.prover import answer_query
+from repro.query.naive import answer_batch_query_naive, answer_query_naive
 from repro.query.verifier import VerifiedHistory, verify_result
 from repro.query.batch import (
     BatchQueryResult,
@@ -38,6 +40,9 @@ from repro.query.batch import (
 )
 
 __all__ = [
+    "AddressIndex",
+    "answer_query_naive",
+    "answer_batch_query_naive",
     "SystemConfig",
     "SystemKind",
     "bf_commitment",

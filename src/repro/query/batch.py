@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bloom.filter import BloomFilter
+from repro.bloom.filter import BloomFilter, PositionCache
 from repro.chain.address import address_item
 from repro.chain.block import BlockHeader
 from repro.crypto.encoding import ByteReader, write_var_bytes, write_varint
@@ -257,11 +257,11 @@ def answer_batch_query(
     ]
     per_address_answers: List[List[object]] = []
     for address in addresses:
-        item = address_item(address)
+        cache = PositionCache(address_item(address))
         answers: List[object] = []
         for offset, bf in enumerate(shared_filters):
             height = first_height + offset
-            if not bf.might_contain(item):
+            if not cache.check_fails(bf):
                 answers.append(None)
             else:
                 answers.append(_resolve_block(system, height, address))
@@ -355,12 +355,12 @@ def _verify_shared_filter_batch(
 
     histories: Dict[str, VerifiedHistory] = {}
     for address, answers in zip(batch.addresses, batch.per_address_answers):
-        item = address_item(address)
+        cache = PositionCache(address_item(address))
         transactions = []
         for offset, resolution in enumerate(answers):
             height = batch.first_height + offset
             bf = filters[offset]
-            if not bf.might_contain(item):
+            if not cache.check_fails(bf):
                 if resolution is not None:
                     raise VerificationError(
                         f"height {height}: filter check succeeds for "

@@ -31,12 +31,23 @@ from repro.merkle.bmt import BmtForest, BmtTree
 from repro.merkle.sorted_tree import SortedMerkleTree
 from repro.merkle.tree import MerkleTree
 from repro.query.config import SystemConfig, SystemKind, bf_commitment
+from repro.query.index import AddressIndex
 
 
 class BuiltSystem:
     """A chain plus the full-node-side indexes for one prototype system."""
 
-    __slots__ = ("config", "chain", "filters", "smts", "merkle_trees", "forest")
+    __slots__ = (
+        "config",
+        "chain",
+        "filters",
+        "smts",
+        "merkle_trees",
+        "forest",
+        "address_index",
+        "resolution_cache",
+        "segment_cache",
+    )
 
     def __init__(
         self,
@@ -46,6 +57,7 @@ class BuiltSystem:
         smts: List[Optional[SortedMerkleTree]],
         merkle_trees: List[MerkleTree],
         forest: Optional[BmtForest],
+        address_index: Optional[AddressIndex] = None,
     ) -> None:
         self.config = config
         self.chain = chain
@@ -57,6 +69,25 @@ class BuiltSystem:
         self.merkle_trees = merkle_trees
         #: BMT subtree cache (``None`` on non-BMT systems).
         self.forest = forest
+        #: Inverted ``address → (height, tx_index)`` postings — the
+        #: prover's fast path (``None`` only for hand-built systems).
+        self.address_index = address_index
+        #: Memoized block resolutions keyed ``(address, height)``; safe
+        #: because blocks are immutable once appended.
+        self.resolution_cache: "dict[tuple[str, int], object]" = {}
+        #: Memoized ``(multiproof, failed_heights)`` per segment, keyed
+        #: ``(address, anchor, start, end, clipped_range)``.  A BMT over
+        #: a fixed block span never changes after it is merged, so the
+        #: proof for that span cannot go stale; new blocks only add new
+        #: spans (new keys).  The multiproof object is shared across
+        #: answers — proofs are read-only to honest consumers, and the
+        #: tampering tests deep-copy before attacking.
+        self.segment_cache: "dict[tuple, object]" = {}
+
+    def clear_query_caches(self) -> None:
+        """Drop memoized query state (for cold-cache benchmarking)."""
+        self.resolution_cache.clear()
+        self.segment_cache.clear()
 
     @property
     def tip_height(self) -> int:
@@ -89,6 +120,8 @@ class BuiltSystem:
         self.filters.append(indexes.bf)
         self.smts.append(indexes.smt)
         self.merkle_trees.append(indexes.merkle_tree)
+        if self.address_index is not None:
+            self.address_index.add_block(height, block.transactions)
 
 
 def _block_filter(
@@ -177,7 +210,9 @@ def _assemble_block(
         timestamp=1_230_000_000 + height * 600,  # ten-minute cadence
         extension=extension,
     )
-    return Block(header, transactions, height), _BlockIndexes(
+    # Hand the freshly built tree to the block so Blockchain.append's
+    # Merkle-root validation reuses it instead of re-hashing every txid.
+    return Block(header, transactions, height, merkle_tree), _BlockIndexes(
         bf, smt, merkle_tree
     )
 
@@ -198,6 +233,7 @@ def build_system(
     smts: List[Optional[SortedMerkleTree]] = []
     merkle_trees: List[MerkleTree] = []
     forest = BmtForest() if config.uses_bmt else None
+    address_index = AddressIndex()
 
     prev_hash = b"\x00" * HASH_SIZE
     for height, transactions in enumerate(bodies):
@@ -209,5 +245,8 @@ def build_system(
         filters.append(indexes.bf)
         smts.append(indexes.smt)
         merkle_trees.append(indexes.merkle_tree)
+        address_index.add_block(height, block.transactions)
 
-    return BuiltSystem(config, chain, filters, smts, merkle_trees, forest)
+    return BuiltSystem(
+        config, chain, filters, smts, merkle_trees, forest, address_index
+    )

@@ -80,6 +80,12 @@ class ExistenceResolution:
         self.smt_branch = smt_branch
         self.entries = entries
 
+    def copy(self) -> "ExistenceResolution":
+        """Fresh top-level containers over shared (immutable-by-contract)
+        proof leaves — what the prover's memo hands to each caller so one
+        caller's tampering can never leak into another's answer."""
+        return ExistenceResolution(self.smt_branch, list(self.entries))
+
     def serialize(self) -> bytes:
         parts = [bytes([1 if self.smt_branch is not None else 0])]
         if self.smt_branch is not None:
@@ -120,6 +126,11 @@ class FpmResolution:
     def __init__(self, proof: SmtInexistenceProof) -> None:
         self.proof = proof
 
+    def copy(self) -> "FpmResolution":
+        """Fresh wrapper over the shared inexistence proof (see
+        :meth:`ExistenceResolution.copy`)."""
+        return FpmResolution(self.proof)
+
     def serialize(self) -> bytes:
         return self.proof.serialize()
 
@@ -143,6 +154,10 @@ class IntegralBlockResolution:
             raise ProofError("integral block body cannot be empty")
         self.body = body
         self._transactions: "Optional[List[Transaction]]" = None
+
+    def copy(self) -> "IntegralBlockResolution":
+        """Fresh wrapper over the shared (immutable) body bytes."""
+        return IntegralBlockResolution(self.body)
 
     def transactions(self) -> List[Transaction]:
         if self._transactions is None:

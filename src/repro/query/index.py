@@ -1,0 +1,159 @@
+"""Inverted address index: the full node's query-serving fast path.
+
+The prover's block-level resolutions need "which transactions in block
+``h`` involve address ``a``?".  Without an index the only source of that
+answer is the block body itself, so every failed filter check costs a
+linear scan over the whole block — O(chain) redundant work per query on
+a busy address.  vChain (SIGMOD 2019) and Dietcoin both show that
+verifiable-query serving lives or dies on prover-side indexing; this
+module is LVQ's equivalent.
+
+:class:`AddressIndex` maps ``address → [(height, tx_index), ...]``
+(postings sorted by construction, since blocks are appended in height
+order).  Per-height appearance counts — the exact leaf content of the
+block's SMT — fall out of the postings by counting entries at a height.
+
+The index is *prover-side only*: nothing in it is committed to by any
+header, and the verifier never sees it.  An index that drifted from the
+chain could therefore never corrupt a proof — the worst it can do is
+make the prover ship evidence the verifier rejects.  The property tests
+in ``tests/query/test_index.py`` pin it to brute-force
+``Transaction.involves`` scans anyway.
+
+Memory cost (documented in DESIGN.md): one ``(int, int)`` tuple per
+(address, transaction) incidence — roughly ``num_blocks × txs_per_block
+× addresses_per_tx`` postings, i.e. linear in chain size with a small
+constant (~100 bytes per posting of CPython overhead).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.chain.transaction import Transaction
+from repro.errors import ChainError
+
+
+class AddressIndex:
+    """Incremental ``address → [(height, tx_index), ...]`` postings."""
+
+    __slots__ = ("_postings", "_num_postings", "_next_height")
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, List[Tuple[int, int]]] = {}
+        self._num_postings = 0
+        self._next_height = 0
+
+    # -- construction ------------------------------------------------------
+
+    def add_block(
+        self, height: int, transactions: Sequence[Transaction]
+    ) -> None:
+        """Index one block; must be called in strict height order."""
+        if height != self._next_height:
+            raise ChainError(
+                f"index expects height {self._next_height}, got {height}"
+            )
+        self._next_height = height + 1
+        postings = self._postings
+        for tx_index, transaction in enumerate(transactions):
+            # ``addresses()`` is already deduplicated per transaction, so
+            # one transaction contributes at most one posting per address
+            # (matching both ``involves()`` and the SMT count semantics).
+            for address in transaction.addresses():
+                bucket = postings.get(address)
+                if bucket is None:
+                    postings[address] = [(height, tx_index)]
+                else:
+                    bucket.append((height, tx_index))
+                self._num_postings += 1
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def indexed_height(self) -> int:
+        """Highest indexed height (``-1`` when empty)."""
+        return self._next_height - 1
+
+    @property
+    def num_addresses(self) -> int:
+        return len(self._postings)
+
+    @property
+    def num_postings(self) -> int:
+        return self._num_postings
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._postings
+
+    def occurrences(self, address: str) -> List[Tuple[int, int]]:
+        """All ``(height, tx_index)`` pairs for ``address``, ascending."""
+        return list(self._postings.get(address, ()))
+
+    def tx_indices(self, address: str, height: int) -> List[int]:
+        """Indices of the transactions in block ``height`` involving
+        ``address``, in block order — the existence-resolution work list."""
+        bucket = self._postings.get(address)
+        if not bucket:
+            return []
+        lo = bisect_left(bucket, (height, -1))
+        out: List[int] = []
+        for entry_height, tx_index in bucket[lo:]:
+            if entry_height != height:
+                break
+            out.append(tx_index)
+        return out
+
+    def count_at(self, address: str, height: int) -> int:
+        """Number of transactions touching ``address`` in block ``height``
+        — exactly the block SMT's committed count for the address."""
+        return len(self.tx_indices(address, height))
+
+    def appearance_counts(self, address: str) -> Dict[int, int]:
+        """Per-height appearance counts over the whole chain."""
+        counts: Dict[int, int] = {}
+        for height, _tx_index in self._postings.get(address, ()):
+            counts[height] = counts.get(height, 0) + 1
+        return counts
+
+    def heights(self, address: str) -> List[int]:
+        """Distinct heights touching ``address``, ascending."""
+        seen: List[int] = []
+        for height, _tx_index in self._postings.get(address, ()):
+            if not seen or seen[-1] != height:
+                seen.append(height)
+        return seen
+
+    def touches_range(self, address: str, first: int, last: int) -> bool:
+        """Does ``address`` appear anywhere in heights ``[first, last]``?
+
+        Lets batch serving skip the per-segment resolution bookkeeping
+        for address/segment pairs with no real appearances (false
+        positives still surface through the Bloom checks, which this
+        never short-circuits).
+        """
+        bucket = self._postings.get(address)
+        if not bucket:
+            return False
+        lo = bisect_left(bucket, (first, -1))
+        return lo < len(bucket) and bucket[lo][0] <= last
+
+    def addresses(self) -> Iterable[str]:
+        return self._postings.keys()
+
+    def approx_size_bytes(self) -> int:
+        """Rough in-memory footprint (postings only), for capacity math."""
+        import sys
+
+        total = sys.getsizeof(self._postings)
+        for address, bucket in self._postings.items():
+            total += sys.getsizeof(address) + sys.getsizeof(bucket)
+            total += len(bucket) * 72  # tuple of two small ints, CPython
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"AddressIndex(addresses={self.num_addresses}, "
+            f"postings={self.num_postings}, tip={self.indexed_height})"
+        )

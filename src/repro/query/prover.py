@@ -1,4 +1,4 @@
-"""Full-node-side proof generation (§V).
+"""Full-node-side proof generation (§V) — the query-serving fast path.
 
 ``answer_query`` builds the complete, honest answer for one address under
 the system's config.  The structure mirrors §V exactly:
@@ -10,6 +10,23 @@ the system's config.  The structure mirrors §V exactly:
 * non-BMT systems walk the chain block by block, shipping the filter
   (when the header holds only its hash) plus the Eq-4 fragment.
 
+Three prover-side optimizations make this the *fast* path (the original
+algorithms live on as the oracle in :mod:`repro.query.naive`, and the
+equivalence tests pin both to byte-identical output):
+
+1. **Single-pass proof generation** — ``BmtTree.multiproof`` collects
+   the failed-leaf heights during its own descent, eliminating the
+   duplicate ``find_endpoints`` traversal per segment;
+2. **Position caching** — the item's checked-bit positions are derived
+   once per (query, geometry) via :class:`PositionCache` and threaded
+   through every tree descent and per-block check;
+3. **Inverted address index** — block-level resolutions fetch the
+   involved transactions from :class:`repro.query.index.AddressIndex`
+   instead of scanning every transaction in the block, and resolved
+   blocks are memoized on the system (blocks are immutable, so a
+   resolution never goes stale; ``BuiltSystem.clear_query_caches``
+   drops the memo for cold-cache measurements).
+
 Dishonest behaviours for the security tests live in
 :mod:`repro.query.adversary`, not here.
 """
@@ -18,11 +35,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.bloom.filter import PositionCache
 from repro.chain.address import address_item
 from repro.chain.block import Block
 from repro.chain.segments import covering_spans
 from repro.errors import QueryError
-from repro.merkle.bmt import EndpointKind
 from repro.query.builder import BuiltSystem
 from repro.query.config import SystemKind
 from repro.query.fragments import (
@@ -73,21 +90,37 @@ def _answer_with_segments(
     config = system.config
     assert config.segment_len is not None and system.forest is not None
     item = address_item(address)
+    cache = PositionCache(item)
     segments: List[SegmentProof] = []
     for anchor, start, end in covering_spans(system.tip_height, config.segment_len):
         if end < first or start > last:
             continue  # segment entirely outside the queried range
         clipped = (max(start, first), min(end, last))
-        tree = system.forest.tree(start, end)
-        multiproof = tree.multiproof(item, query_range=clipped)
-        resolutions: Dict[int, object] = {}
-        for endpoint in tree.find_endpoints(item):
-            if endpoint.kind is EndpointKind.LEAF_FAILED:
-                height = endpoint.node.start
-                if clipped[0] <= height <= clipped[1]:
-                    resolutions[height] = _resolve_block(
-                        system, height, address
-                    )
+        # A BMT over a fixed span is immutable once merged, so its
+        # multiproof for a given clipped range is memoizable forever.
+        seg_key = (address, anchor, start, end, clipped)
+        cached = system.segment_cache.get(seg_key)
+        if cached is None:
+            tree = system.forest.tree(start, end)
+            positions = cache.positions(
+                tree.root.bf.num_hashes, tree.root.bf.size_bits
+            )
+            # Single pass: the in-range failed-leaf heights fall out of
+            # the multiproof's own descent, left to right.
+            failed: List[int] = []
+            multiproof = tree.multiproof(
+                item,
+                query_range=clipped,
+                positions=positions,
+                failed_heights=failed,
+            )
+            cached = (multiproof, failed)
+            system.segment_cache[seg_key] = cached
+        multiproof, failed = cached
+        resolutions: Dict[int, object] = {
+            height: _resolve_block(system, height, address)
+            for height in failed
+        }
         segments.append(SegmentProof(anchor, start, end, multiproof, resolutions))
     return QueryResult(
         config.kind,
@@ -108,11 +141,12 @@ def _answer_per_block(
 ) -> QueryResult:
     config = system.config
     item = address_item(address)
+    cache = PositionCache(item)
     answers: List[PerBlockAnswer] = []
     for height in range(first, last + 1):
         bf = system.filters[height]
         shipped = bf if config.ships_block_filters else None
-        if not bf.might_contain(item):
+        if not cache.check_fails(bf):
             answers.append(PerBlockAnswer(shipped, None))  # Eq 4: ∅
             continue
         answers.append(PerBlockAnswer(shipped, _resolve_block(system, height, address)))
@@ -131,7 +165,25 @@ def _answer_per_block(
 
 
 def _resolve_block(system: BuiltSystem, height: int, address: str):
-    """Evidence for a block whose filter check failed for ``address``."""
+    """Evidence for a block whose filter check failed for ``address``.
+
+    Resolutions are memoized per ``(address, height)``: blocks are
+    immutable once appended, so the evidence for a block never changes.
+    Repeat queries for hot addresses (and overlapping range queries) hit
+    the memo instead of re-proving.  Every call returns a fresh top-level
+    resolution object (``copy()``) so callers that tamper with their
+    answer — the adversary tests do — cannot poison the memo.
+    """
+    cache = system.resolution_cache
+    key = (address, height)
+    resolution = cache.get(key)
+    if resolution is None:
+        resolution = _build_resolution(system, height, address)
+        cache[key] = resolution
+    return resolution.copy()
+
+
+def _build_resolution(system: BuiltSystem, height: int, address: str):
     config = system.config
     block = system.chain.block_at(height)
 
@@ -158,9 +210,21 @@ def _resolve_block(system: BuiltSystem, height: int, address: str):
 def _existence_entries(
     system: BuiltSystem, block: Block, address: str
 ) -> List[TxWithBranch]:
+    """``(transaction, Merkle branch)`` pairs for every appearance.
+
+    With an inverted index on the system this is O(appearances); the
+    brute-force scan remains only as a fallback for hand-built systems
+    constructed without an index.
+    """
     merkle_tree = system.merkle_trees[block.height]
+    index = system.address_index
+    if index is not None and index.indexed_height >= block.height:
+        return [
+            TxWithBranch(block.transactions[i], merkle_tree.branch(i))
+            for i in index.tx_indices(address, block.height)
+        ]
     return [
-        TxWithBranch(transaction, merkle_tree.branch(index))
-        for index, transaction in enumerate(block.transactions)
+        TxWithBranch(transaction, merkle_tree.branch(i))
+        for i, transaction in enumerate(block.transactions)
         if transaction.involves(address)
     ]

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.bloom.filter import PositionCache
 from repro.chain.address import address_item
 from repro.chain.block import (
     Block,
@@ -146,6 +147,7 @@ def _verify_segments(
 ) -> VerifiedHistory:
     assert config.segment_len is not None and result.segments is not None
     item = address_item(result.address)
+    cache = PositionCache(item)
     first, last = result.first_height, result.last_height
     expected = [
         span
@@ -172,6 +174,7 @@ def _verify_segments(
                 config.bf_bits,
                 config.num_hashes,
                 query_range=clipped,
+                positions=cache.positions(config.num_hashes, config.bf_bits),
             )
         except VerificationError as exc:
             raise CorrectnessError(
@@ -208,7 +211,7 @@ def _verify_per_block(
     result: QueryResult, headers: Sequence[BlockHeader], config: SystemConfig
 ) -> VerifiedHistory:
     assert result.blocks is not None
-    item = address_item(result.address)
+    cache = PositionCache(address_item(result.address))
     first, last = result.first_height, result.last_height
     if len(result.blocks) != last - first + 1:
         raise CompletenessError(
@@ -221,7 +224,7 @@ def _verify_per_block(
         height = offset + first
         header = headers[height]
         bf = _authenticated_filter(answer.bf, header, config, height)
-        if not bf.might_contain(item):
+        if not cache.check_fails(bf):
             if answer.resolution is not None:
                 raise VerificationError(
                     f"height {height}: filter check succeeds, yet the "

@@ -1,0 +1,103 @@
+"""Fast-path ⇔ naive-path equivalence: byte-identical serialized answers.
+
+The fast prover (inverted index, single-pass multiproofs, position
+caching, resolution memoization) must be observationally identical to
+the pre-fast-path reference in :mod:`repro.query.naive` — same bytes on
+the wire for every system kind, address shape, and query range.  These
+tests are the acceptance gate the throughput benchmark also relies on.
+"""
+
+import pytest
+
+from repro.query.batch import answer_batch_query
+from repro.query.naive import answer_batch_query_naive, answer_query_naive
+from repro.query.prover import answer_query
+from repro.query.verifier import verify_result
+
+
+def _addresses_under_test(workload):
+    addresses = list(workload.probe_addresses.values())
+    addresses.append("never-seen-address")
+    return addresses
+
+
+class TestSingleQueryEquivalence:
+    def test_full_range_byte_identical(self, any_system, workload):
+        config = any_system.config
+        for address in _addresses_under_test(workload):
+            fast = answer_query(any_system, address)
+            naive = answer_query_naive(any_system, address)
+            assert fast.serialize(config) == naive.serialize(config)
+
+    def test_sub_ranges_byte_identical(self, any_system, workload):
+        config = any_system.config
+        tip = any_system.tip_height
+        ranges = [(1, tip), (1, 1), (tip, tip), (2, tip - 3), (5, 20)]
+        for address in _addresses_under_test(workload):
+            for first, last in ranges:
+                fast = answer_query(any_system, address, first, last)
+                naive = answer_query_naive(any_system, address, first, last)
+                assert fast.serialize(config) == naive.serialize(config), (
+                    f"{config.kind.value} range [{first},{last}] diverges "
+                    f"for {address[:16]}"
+                )
+
+    def test_repeat_queries_hit_memo_and_stay_identical(
+        self, any_system, workload
+    ):
+        """Warm-cache answers must still match the naive oracle."""
+        config = any_system.config
+        address = workload.probe_addresses["Addr6"]
+        any_system.clear_query_caches()
+        first_pass = answer_query(any_system, address).serialize(config)
+        assert any_system.config.kind is config.kind
+        second_pass = answer_query(any_system, address).serialize(config)
+        naive = answer_query_naive(any_system, address).serialize(config)
+        assert first_pass == second_pass == naive
+
+    def test_fast_answers_still_verify(self, any_system, workload):
+        headers = any_system.headers()
+        for name in ("Addr1", "Addr3", "Addr6"):
+            address = workload.probe_addresses[name]
+            result = answer_query(any_system, address)
+            history = verify_result(
+                result, headers, any_system.config, address
+            )
+            truth = workload.history_of(address)
+            assert [
+                (h, tx.txid()) for h, tx in history.transactions
+            ] == [(h, tx.txid()) for h, tx in truth]
+
+
+class TestBatchEquivalence:
+    def test_batch_byte_identical(self, any_system, workload):
+        config = any_system.config
+        addresses = _addresses_under_test(workload)
+        fast = answer_batch_query(any_system, addresses)
+        naive = answer_batch_query_naive(any_system, addresses)
+        assert fast.serialize(config) == naive.serialize(config)
+
+    def test_batch_range_byte_identical(self, any_system, workload):
+        config = any_system.config
+        addresses = list(workload.probe_addresses.values())[:3]
+        fast = answer_batch_query(any_system, addresses, 4, 17)
+        naive = answer_batch_query_naive(any_system, addresses, 4, 17)
+        assert fast.serialize(config) == naive.serialize(config)
+
+
+class TestTamperedAnswersDoNotPoisonTheMemo:
+    def test_caller_mutation_is_invisible_to_later_queries(
+        self, lvq_system, workload
+    ):
+        config = lvq_system.config
+        address = workload.probe_addresses["Addr5"]
+        lvq_system.clear_query_caches()
+        reference = answer_query(lvq_system, address).serialize(config)
+
+        tampered = answer_query(lvq_system, address)
+        for segment in tampered.segments:
+            for resolution in segment.resolutions.values():
+                if hasattr(resolution, "entries") and resolution.entries:
+                    resolution.entries.pop()
+
+        assert answer_query(lvq_system, address).serialize(config) == reference
