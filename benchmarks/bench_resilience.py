@@ -1,0 +1,282 @@
+"""Resilience benchmark: availability and retry overhead under adversity.
+
+The robustness counterpart of ``bench_throughput.py``.  It builds one
+paper-faithful LVQ system, then drives :class:`QuerySession` through two
+harnesses on a simulated clock (so latency is charged, never slept):
+
+* **malicious-fraction sweep** — 3-peer sessions with 0/3, 1/3 and 2/3
+  malicious peers (cycling through every content attack in
+  ``ALL_ATTACKS``); honest peers sit behind lossy-but-finite links
+  (scripted early drops + probabilistic extra latency).  Because the
+  drops are finite scripts and a verification failure permanently bans
+  the lying peer, **availability must be 100%** at every fraction — the
+  cost of adversity shows up as retry overhead (extra attempts, extra
+  bytes, backoff time), not as lost answers.  That gate is enforced.
+* **3-peer smoke** — 1 honest + 1 flaky + 1 malicious peer answering
+  every probe address once; the canonical "one good peer is enough"
+  configuration exercised end to end.
+
+Results land in ``BENCH_resilience.json`` at the repo root (schema
+``lvq-bench-resilience/v1``); EXPERIMENTS.md documents the fields.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_resilience.py``
+(``LVQ_RESILIENCE_BLOCKS=48 LVQ_RESILIENCE_TRIALS=8`` for the CI smoke
+run).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _common import NUM_HASHES, bf_bytes
+from repro.node.faults import (
+    FaultKind,
+    FaultRule,
+    FaultSchedule,
+    FaultyTransport,
+    FlakyFullNode,
+)
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.node.session import Peer, QuerySession, RetryPolicy
+from repro.node.transport import InProcessTransport, LinkModel, SimulatedClock
+from repro.query.adversary import ALL_ATTACKS, MaliciousFullNode
+from repro.query.builder import build_system
+from repro.query.config import SystemConfig
+from repro.workload.generator import WorkloadParams, generate_workload
+
+BLOCKS = int(os.environ.get("LVQ_RESILIENCE_BLOCKS", "128"))
+TXS_PER_BLOCK = int(os.environ.get("LVQ_RESILIENCE_TXS", "10"))
+#: Sessions per malicious fraction; every session queries all probes.
+TRIALS = int(os.environ.get("LVQ_RESILIENCE_TRIALS", "20"))
+SEED = 20200704
+PEERS = 3
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_resilience.json"
+
+_ATTACK_NAMES = sorted(ALL_ATTACKS)
+
+
+def _lossy_link_factory(rng, clock):
+    """An honest peer's link: finitely many scripted early drops plus
+    probabilistic extra latency.  Finite drops keep success structural —
+    the session's retry budget always outlasts the script."""
+    drops = sorted(rng.sample(range(6), rng.randrange(0, 3)))
+    rules = []
+    if drops:
+        rules.append(FaultRule(FaultKind.DROP, at_messages=drops))
+    rules.append(
+        FaultRule(
+            FaultKind.DELAY,
+            probability=rng.uniform(0.2, 0.8),
+            param=rng.uniform(0.05, 0.4),
+        )
+    )
+    schedule = FaultSchedule(rules, seed=rng.randrange(1 << 30))
+    link = LinkModel.home_broadband()
+    return lambda: FaultyTransport(schedule=schedule, clock=clock, link=link)
+
+
+def _session_peers(system, malicious, rng, clock, attack_cursor):
+    """3 peers, ``malicious`` of them lying (attacks cycled), the honest
+    remainder behind lossy links."""
+    peers = []
+    for index in range(malicious):
+        name = _ATTACK_NAMES[next(attack_cursor) % len(_ATTACK_NAMES)]
+        peers.append(
+            Peer(
+                f"malicious{index}:{name}",
+                MaliciousFullNode(system, ALL_ATTACKS[name]),
+            )
+        )
+    for index in range(PEERS - malicious):
+        peers.append(
+            Peer(
+                f"honest{index}",
+                FullNode(system),
+                transport_factory=_lossy_link_factory(rng, clock),
+            )
+        )
+    rng.shuffle(peers)
+    return peers
+
+
+def _clean_bytes_per_query(system, probes) -> float:
+    """Baseline wire cost: one honest query per probe on a clean link."""
+    light = LightNode(system.headers(), system.config)
+    node = FullNode(system)
+    total = 0
+    for address in probes.values():
+        transport = InProcessTransport()
+        light.query_history(node, address, transport)
+        total += transport.stats.total_bytes
+    return total / len(probes)
+
+
+def _sweep_fraction(system, probes, malicious, clean_bytes):
+    """TRIALS sessions at one malicious fraction; aggregate the stats."""
+    rng = random.Random(SEED + malicious * 1000)
+    attack_cursor = iter(range(10**9))
+    queries = successes = attempts = retries = banned = 0
+    backoff = answer_seconds = total_bytes = 0.0
+    for trial in range(TRIALS):
+        clock = SimulatedClock()
+        peers = _session_peers(system, malicious, rng, clock, attack_cursor)
+        session = QuerySession(
+            LightNode(system.headers(), system.config),
+            peers,
+            clock=clock,
+            request_timeout=5.0,
+            retry=RetryPolicy(
+                max_rounds=6, base_delay=0.05, max_delay=1.0, jitter=0.25
+            ),
+            quarantine_base=0.05,
+            seed=rng.randrange(1 << 30),
+        )
+        for address in probes.values():
+            before = clock.now()
+            session.query(address)
+            answer_seconds += clock.now() - before
+        stats = session.stats
+        queries += stats.queries
+        successes += stats.successes
+        attempts += stats.attempts
+        retries += stats.retries
+        backoff += stats.backoff_seconds
+        banned += sum(1 for peer in peers if peer.banned)
+        total_bytes += sum(
+            peer.stats.transport.total_bytes for peer in peers
+        )
+    return {
+        "malicious_peers": malicious,
+        "total_peers": PEERS,
+        "sessions": TRIALS,
+        "queries": queries,
+        "successes": successes,
+        "availability": successes / queries if queries else 0.0,
+        "attempts_per_query": attempts / queries if queries else 0.0,
+        "retry_overhead": (attempts / successes - 1.0) if successes else 0.0,
+        "retries": retries,
+        "backoff_seconds": backoff,
+        "mean_answer_seconds": answer_seconds / queries if queries else 0.0,
+        "bytes_per_query": total_bytes / queries if queries else 0.0,
+        "clean_bytes_per_query": clean_bytes,
+        "bytes_overhead": (
+            (total_bytes / queries) / clean_bytes if queries else 0.0
+        ),
+        "peers_banned": banned,
+    }
+
+
+def _smoke(system, probes):
+    """1 honest + 1 flaky + 1 malicious: every probe answered."""
+    clock = SimulatedClock()
+    peers = [
+        Peer("honest", FullNode(system)),
+        Peer(
+            "flaky",
+            FlakyFullNode(system, failure_rate=0.4, seed=SEED),
+        ),
+        Peer(
+            "malicious:omit",
+            MaliciousFullNode(system, ALL_ATTACKS["omit_one_transaction"]),
+        ),
+    ]
+    session = QuerySession(
+        LightNode(system.headers(), system.config),
+        peers,
+        clock=clock,
+        request_timeout=5.0,
+        retry=RetryPolicy(max_rounds=6, base_delay=0.05, max_delay=1.0),
+        quarantine_base=0.05,
+        seed=SEED,
+    )
+    winners = {}
+    for name, address in probes.items():
+        session.query(address)
+        winners[name] = session.last_winner
+    report = session.stats.as_dict()
+    report["winners"] = winners
+    return report
+
+
+def main() -> int:
+    print(
+        f"bench_resilience: blocks={BLOCKS} txs/block={TXS_PER_BLOCK} "
+        f"trials={TRIALS} peers={PEERS}"
+    )
+    workload = generate_workload(
+        WorkloadParams(num_blocks=BLOCKS, txs_per_block=TXS_PER_BLOCK, seed=2020)
+    )
+    # Largest power of two <= BLOCKS (segment lengths must be powers of 2).
+    segment_len = 1 << (BLOCKS.bit_length() - 1)
+    config = SystemConfig.lvq(
+        bf_bytes=bf_bytes(30), segment_len=segment_len, num_hashes=NUM_HASHES
+    )
+    system = build_system(workload.bodies, config)
+    probes = workload.probe_addresses
+    clean_bytes = _clean_bytes_per_query(system, probes)
+
+    report = {
+        "schema": "lvq-bench-resilience/v1",
+        "params": {
+            "blocks": BLOCKS,
+            "txs_per_block": TXS_PER_BLOCK,
+            "trials": TRIALS,
+            "peers": PEERS,
+            "seed": SEED,
+            "kind": config.kind.value,
+            "probe_addresses": len(probes),
+        },
+        "fractions": [],
+        "smoke": {},
+    }
+
+    print("\nmalicious  avail   attempts/q  retry-ovh  bytes-ovh  backoff(s)")
+    ok = True
+    for malicious in (0, 1, 2):
+        row = _sweep_fraction(system, probes, malicious, clean_bytes)
+        report["fractions"].append(row)
+        print(
+            f"  {malicious}/{PEERS}      {row['availability']:6.1%}  "
+            f"{row['attempts_per_query']:9.2f}  "
+            f"{row['retry_overhead']:9.2f}  "
+            f"{row['bytes_overhead']:9.2f}  "
+            f"{row['backoff_seconds']:9.2f}"
+        )
+        if row["availability"] < 1.0:
+            ok = False
+
+    report["smoke"] = _smoke(system, probes)
+    smoke_ok = report["smoke"]["failures"] == 0
+    ok = ok and smoke_ok
+    print(
+        f"\nsmoke (honest+flaky+malicious): "
+        f"{report['smoke']['successes']}/{report['smoke']['queries']} served, "
+        f"winners={sorted(set(report['smoke']['winners'].values()))}"
+    )
+
+    report["gates"] = {
+        "availability_met": ok,
+        "note": (
+            "honest links use finite drop scripts, so 100% availability "
+            "with >=1 honest peer is structural, not probabilistic"
+        ),
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")
+    if not ok:
+        print("AVAILABILITY GATE FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

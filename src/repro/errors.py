@@ -55,6 +55,120 @@ class TransportError(ReproError):
     """Simulated network failure (closed transport, oversized message)."""
 
 
+class QueryTimeoutError(TransportError):
+    """A timeout measured on the simulated clock.
+
+    Carries machine-readable fields so session statistics and benchmarks
+    can classify timeouts without parsing messages:
+
+    * ``timeout_seconds`` — the configured limit that was exceeded.
+    * ``elapsed_seconds`` — simulated time actually spent (``None`` when
+      the waiter gave up without a clock).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        timeout_seconds: "float | None" = None,
+        elapsed_seconds: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.timeout_seconds = timeout_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+    def details(self) -> "dict[str, object]":
+        return {
+            "kind": type(self).__name__,
+            "timeout_seconds": self.timeout_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+class RequestTimeoutError(QueryTimeoutError):
+    """A single request/response exchange exceeded its per-attempt limit
+    (the message was dropped, or injected latency blew the deadline)."""
+
+
+class SessionTimeoutError(QueryTimeoutError):
+    """A whole query session ran past its overall deadline across
+    retries, backoff sleeps, and failovers."""
+
+
+class PeerQuarantinedError(ReproError):
+    """A peer was skipped because its health score put it in quarantine.
+
+    ``peer`` names the peer; ``permanent`` distinguishes a verification
+    ban (the peer served a decodable-but-unverifiable proof — malice)
+    from a decaying transport-failure penalty that expires at
+    ``until_seconds`` on the session clock.
+    """
+
+    def __init__(
+        self,
+        peer: str,
+        *,
+        permanent: bool,
+        until_seconds: "float | None" = None,
+        reason: "str | None" = None,
+    ) -> None:
+        state = "banned" if permanent else f"quarantined until {until_seconds}"
+        super().__init__(f"peer {peer} is {state}" + (f": {reason}" if reason else ""))
+        self.peer = peer
+        self.permanent = permanent
+        self.until_seconds = until_seconds
+        self.reason = reason
+
+    def details(self) -> "dict[str, object]":
+        return {
+            "kind": type(self).__name__,
+            "peer": self.peer,
+            "permanent": self.permanent,
+            "until_seconds": self.until_seconds,
+            "reason": self.reason,
+        }
+
+
+class RetryExhaustedError(ReproError):
+    """A resilient session ran out of retry budget without a verified
+    answer and without proof that every peer is malicious.
+
+    ``reasons`` maps each peer label to the list of errors its attempts
+    raised (chronological), so callers can distinguish "the network was
+    down" from "half the peers lied and the rest flapped".
+    """
+
+    def __init__(
+        self,
+        address: str,
+        attempts: int,
+        reasons: "dict[str, list[Exception]]",
+    ) -> None:
+        summary = "; ".join(
+            f"{peer}: {type(errors[-1]).__name__}: {errors[-1]}"
+            for peer, errors in reasons.items()
+            if errors
+        )
+        super().__init__(
+            f"no verified answer for {address!r} after {attempts} attempts "
+            f"({summary or 'no peers available'})"
+        )
+        self.address = address
+        self.attempts = attempts
+        self.reasons = reasons
+
+    def details(self) -> "dict[str, object]":
+        return {
+            "kind": type(self).__name__,
+            "address": self.address,
+            "attempts": self.attempts,
+            "reasons": {
+                peer: [f"{type(e).__name__}: {e}" for e in errors]
+                for peer, errors in self.reasons.items()
+            },
+        }
+
+
 class NoHonestPeerError(VerificationError):
     """Every queried full node returned an unverifiable answer.
 

@@ -1,9 +1,30 @@
-"""Simulated full/light nodes and the byte-counting transport between them."""
+"""Simulated full/light nodes, the byte-counting transport between them,
+and the chaos layer (fault injection + resilient multi-peer sessions)."""
 
 from repro.node.messages import QueryRequest, QueryResponse, HeadersRequest, HeadersResponse
-from repro.node.transport import InProcessTransport, LinkModel, TransportStats
+from repro.node.transport import (
+    InProcessTransport,
+    LinkModel,
+    SimulatedClock,
+    TransportStats,
+)
 from repro.node.full_node import FullNode
 from repro.node.light_node import LightNode
+from repro.node.faults import (
+    ByzantineFlakyFullNode,
+    FaultKind,
+    FaultRule,
+    FaultSchedule,
+    FaultyTransport,
+    FlakyFullNode,
+)
+from repro.node.session import (
+    PartialHistory,
+    Peer,
+    QuerySession,
+    RetryPolicy,
+    SessionStats,
+)
 
 __all__ = [
     "QueryRequest",
@@ -12,7 +33,19 @@ __all__ = [
     "HeadersResponse",
     "InProcessTransport",
     "LinkModel",
+    "SimulatedClock",
     "TransportStats",
     "FullNode",
     "LightNode",
+    "FaultKind",
+    "FaultRule",
+    "FaultSchedule",
+    "FaultyTransport",
+    "FlakyFullNode",
+    "ByzantineFlakyFullNode",
+    "Peer",
+    "PartialHistory",
+    "QuerySession",
+    "RetryPolicy",
+    "SessionStats",
 ]

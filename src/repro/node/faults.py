@@ -1,0 +1,515 @@
+"""Fault injection for the link and the peer (never the proof).
+
+:mod:`repro.query.adversary` attacks the *contents* of an answer; this
+module attacks its *delivery*.  :class:`FaultyTransport` wraps any
+transport with a seeded, scriptable schedule of link faults — drop,
+truncation, byte corruption, duplication, reorder, injected latency (fed
+through :class:`~repro.node.transport.LinkModel` and a
+:class:`~repro.node.transport.SimulatedClock`), and mid-stream close —
+while :class:`FlakyFullNode` / :class:`ByzantineFlakyFullNode` model
+peers whose *service* fails probabilistically or on scripted request
+indices.
+
+The invariant the chaos suite enforces (see
+``tests/node/test_chaos.py``): any composition of these faults with any
+content attack degrades a query to a typed :class:`~repro.errors.ReproError`
+— never to a wrong history.  Faults here are client-observable events,
+not wire-format changes; PROTOCOL.md is unaffected.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import RequestTimeoutError, TransportError
+from repro.node.full_node import FullNode
+from repro.node.transport import (
+    InProcessTransport,
+    LinkModel,
+    SimulatedClock,
+    TransportStats,
+)
+
+
+class FaultKind(enum.Enum):
+    """Link-level failure modes a schedule can inject."""
+
+    DELAY = "delay"  # extra seconds charged to the clock
+    DROP = "drop"  # message never arrives: deadline-blowing silence
+    TRUNCATE = "truncate"  # a prefix arrives, the tail is lost
+    CORRUPT = "corrupt"  # N bytes flipped in place
+    DUPLICATE = "duplicate"  # delivered (and charged) twice
+    REORDER = "reorder"  # stale earlier message delivered instead
+    CLOSE = "close"  # link dies mid-stream after a partial write
+
+
+#: Application order when several faults hit one message: latency always
+#: accrues first; terminal faults (drop/close) preempt payload mangling.
+_KIND_ORDER = {
+    FaultKind.DELAY: 0,
+    FaultKind.CLOSE: 1,
+    FaultKind.DROP: 2,
+    FaultKind.TRUNCATE: 3,
+    FaultKind.CORRUPT: 4,
+    FaultKind.DUPLICATE: 5,
+    FaultKind.REORDER: 6,
+}
+
+_DIRECTIONS = ("to_server", "to_client")
+
+
+class FaultRule:
+    """One line of a fault script.
+
+    A rule fires either *deterministically* — ``at_messages`` names
+    global message indices on this schedule (requests and responses share
+    one counter) — or *probabilistically* with ``probability`` per
+    matching message.  ``direction`` restricts it to one side of the
+    pipe.  ``param`` is kind-specific: extra seconds for ``DELAY``,
+    bytes to flip for ``CORRUPT``, bytes delivered before death for
+    ``CLOSE``, surviving prefix length for ``TRUNCATE`` (random when
+    ``None``).
+    """
+
+    __slots__ = ("kind", "direction", "probability", "at_messages", "param")
+
+    def __init__(
+        self,
+        kind: FaultKind,
+        direction: str = "both",
+        probability: float = 1.0,
+        at_messages: Optional[Iterable[int]] = None,
+        param: Optional[float] = None,
+    ) -> None:
+        if direction not in ("both",) + _DIRECTIONS:
+            raise ValueError(f"unknown direction {direction!r}")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability {probability} outside [0,1]")
+        self.kind = kind
+        self.direction = direction
+        self.probability = probability
+        self.at_messages = (
+            frozenset(at_messages) if at_messages is not None else None
+        )
+        self.param = param
+
+    def matches(self, direction: str, index: int, rng: random.Random) -> bool:
+        if self.direction != "both" and self.direction != direction:
+            return False
+        if self.at_messages is not None:
+            return index in self.at_messages
+        return rng.random() < self.probability
+
+    def __repr__(self) -> str:
+        where = (
+            f"at={sorted(self.at_messages)}"
+            if self.at_messages is not None
+            else f"p={self.probability}"
+        )
+        return f"FaultRule({self.kind.value}, {self.direction}, {where})"
+
+
+class FaultSchedule:
+    """A seeded set of :class:`FaultRule`\\ s shared by one peer's link.
+
+    The schedule owns the RNG and the global message counter, so it stays
+    deterministic across reconnects (a session opening a fresh transport
+    per attempt continues the same script) and counts every injected
+    fault in :attr:`fault_counts` for availability reports.
+    """
+
+    __slots__ = ("rules", "seed", "message_index", "fault_counts", "_rng")
+
+    def __init__(
+        self, rules: Sequence[FaultRule] = (), seed: int = 0
+    ) -> None:
+        self.rules = list(rules)
+        self.seed = seed
+        self.message_index = 0
+        self.fault_counts: Dict[str, int] = {}
+        self._rng = random.Random(seed)
+
+    # -- convenience constructors -----------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultSchedule":
+        return cls()
+
+    @classmethod
+    def drops(cls, rate: float, seed: int = 0) -> "FaultSchedule":
+        return cls([FaultRule(FaultKind.DROP, probability=rate)], seed)
+
+    @classmethod
+    def latency(
+        cls, extra_seconds: float, rate: float = 1.0, seed: int = 0
+    ) -> "FaultSchedule":
+        return cls(
+            [
+                FaultRule(
+                    FaultKind.DELAY, probability=rate, param=extra_seconds
+                )
+            ],
+            seed,
+        )
+
+    @classmethod
+    def scripted(
+        cls, events: Sequence[Tuple[int, FaultKind]], seed: int = 0
+    ) -> "FaultSchedule":
+        """Deterministic script: fault ``kind`` exactly at message ``index``."""
+        return cls(
+            [
+                FaultRule(kind, at_messages=(index,))
+                for index, kind in events
+            ],
+            seed,
+        )
+
+    # -- drawing -----------------------------------------------------------
+
+    def draw(self, direction: str) -> List[FaultRule]:
+        """Faults for the next message in ``direction`` (advances the
+        counter; deterministic for a fixed seed and call sequence)."""
+        index = self.message_index
+        self.message_index += 1
+        fired = [
+            rule
+            for rule in self.rules
+            if rule.matches(direction, index, self._rng)
+        ]
+        fired.sort(key=lambda rule: _KIND_ORDER[rule.kind])
+        return fired
+
+    def count(self, kind: FaultKind) -> None:
+        self.fault_counts[kind.value] = self.fault_counts.get(kind.value, 0) + 1
+
+    def rng(self) -> random.Random:
+        return self._rng
+
+    @property
+    def is_benign(self) -> bool:
+        """True when the schedule can only slow delivery, never mangle it
+        (drop/latency-only — the availability-guarantee regime)."""
+        return all(
+            rule.kind in (FaultKind.DELAY, FaultKind.DROP)
+            for rule in self.rules
+        )
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({len(self.rules)} rules, seed={self.seed})"
+
+
+class FaultyTransport:
+    """Wraps a transport and runs every delivery through a fault schedule.
+
+    Duck-compatible with :class:`InProcessTransport` (``send_to_server``,
+    ``send_to_client``, ``stats``, ``close``), so any code path that takes
+    a transport can be put under chaos unchanged.  Latency — the modeled
+    link's transfer time plus injected ``DELAY`` faults — is charged to
+    the shared :class:`SimulatedClock`; when a per-request deadline is
+    armed (:meth:`arm_timeout`), blowing it raises
+    :class:`RequestTimeoutError`.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[InProcessTransport] = None,
+        schedule: Optional[FaultSchedule] = None,
+        clock: Optional[SimulatedClock] = None,
+        link: Optional[LinkModel] = None,
+    ) -> None:
+        self.inner = inner if inner is not None else InProcessTransport()
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        self.clock = clock
+        self.link = link
+        self._timeout: Optional[float] = None
+        self._armed_at: Optional[float] = None
+        self._stale: Dict[str, Optional[bytes]] = {d: None for d in _DIRECTIONS}
+
+    # -- transport surface --------------------------------------------------
+
+    @property
+    def stats(self) -> TransportStats:
+        return self.inner.stats
+
+    @property
+    def is_closed(self) -> bool:
+        return self.inner.is_closed
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def send_to_server(self, payload: bytes) -> bytes:
+        return self._deliver("to_server", payload, self.inner.send_to_server)
+
+    def send_to_client(self, payload: bytes) -> bytes:
+        return self._deliver("to_client", payload, self.inner.send_to_client)
+
+    # -- timeout management ---------------------------------------------------
+
+    def arm_timeout(self, seconds: Optional[float]) -> None:
+        """Set the per-exchange deadline relative to the clock's *now*."""
+        self._timeout = seconds
+        self._armed_at = self.clock.now() if self.clock is not None else None
+
+    def _elapsed(self) -> Optional[float]:
+        if self.clock is None or self._armed_at is None:
+            return None
+        return self.clock.now() - self._armed_at
+
+    def _deadline_blown(self) -> bool:
+        elapsed = self._elapsed()
+        return (
+            self._timeout is not None
+            and elapsed is not None
+            and elapsed > self._timeout
+        )
+
+    def _timeout_error(self, reason: str) -> RequestTimeoutError:
+        return RequestTimeoutError(
+            reason,
+            timeout_seconds=self._timeout,
+            elapsed_seconds=self._elapsed(),
+        )
+
+    # -- delivery -------------------------------------------------------------
+
+    def _deliver(self, direction: str, payload: bytes, forward) -> bytes:
+        rules = self.schedule.draw(direction)
+        rng = self.schedule.rng()
+
+        # Modeled transfer time: one RTT per request/response exchange,
+        # charged on the request leg, plus serialization time per leg.
+        if self.clock is not None and self.link is not None:
+            round_trips = 1 if direction == "to_server" else 0
+            self.clock.advance(
+                self.link.transfer_seconds(len(payload), round_trips)
+            )
+
+        for rule in rules:
+            kind = rule.kind
+            if kind is FaultKind.DELAY:
+                self.schedule.count(kind)
+                if self.clock is not None:
+                    self.clock.advance(
+                        rule.param if rule.param is not None else 1.0
+                    )
+            elif kind is FaultKind.CLOSE:
+                self.schedule.count(kind)
+                # Partial write: the bytes that crossed before the link
+                # died are recorded (never under-count delivered bytes),
+                # but no complete message arrived.
+                delivered = (
+                    int(rule.param)
+                    if rule.param is not None
+                    else rng.randrange(0, len(payload) + 1)
+                )
+                delivered = max(0, min(delivered, len(payload)))
+                if direction == "to_server":
+                    self.inner.stats.bytes_to_server += delivered
+                else:
+                    self.inner.stats.bytes_to_client += delivered
+                self.inner.close()
+                raise TransportError(
+                    f"link closed mid-stream after {delivered} of "
+                    f"{len(payload)} bytes ({direction})"
+                )
+            elif kind is FaultKind.DROP:
+                self.schedule.count(kind)
+                # The sender transmitted (and is charged); the receiver
+                # waits out the full deadline in silence.
+                forward(payload)
+                if self.clock is not None and self._timeout is not None:
+                    deadline = (self._armed_at or 0.0) + self._timeout
+                    if self.clock.now() < deadline:
+                        self.clock.advance(deadline - self.clock.now())
+                    self.clock.advance(1e-9)
+                raise self._timeout_error(
+                    f"message dropped ({direction}); no response before "
+                    "deadline"
+                )
+            elif kind is FaultKind.TRUNCATE:
+                self.schedule.count(kind)
+                if len(payload) > 0:
+                    cut = (
+                        int(rule.param)
+                        if rule.param is not None
+                        else rng.randrange(0, len(payload))
+                    )
+                    payload = payload[: max(0, min(cut, len(payload) - 1))]
+            elif kind is FaultKind.CORRUPT:
+                self.schedule.count(kind)
+                payload = _corrupt(
+                    payload,
+                    int(rule.param) if rule.param is not None else 1,
+                    rng,
+                )
+            elif kind is FaultKind.DUPLICATE:
+                self.schedule.count(kind)
+                forward(payload)  # the wire carried it twice
+            elif kind is FaultKind.REORDER:
+                self.schedule.count(kind)
+                stale = self._stale[direction]
+                forward(payload)
+                self._stale[direction] = payload
+                if stale is not None:
+                    if self._deadline_blown():
+                        raise self._timeout_error(
+                            "injected latency exceeded request deadline"
+                        )
+                    return stale  # an earlier message arrives instead
+                # Nothing earlier to deliver: reorder degenerates to
+                # normal delivery on the first message.
+                if self._deadline_blown():
+                    raise self._timeout_error(
+                        "injected latency exceeded request deadline"
+                    )
+                return payload
+
+        if self._deadline_blown():
+            raise self._timeout_error(
+                "injected latency exceeded request deadline"
+            )
+        return forward(payload)
+
+    def __repr__(self) -> str:
+        return f"FaultyTransport({self.schedule!r}, inner={self.inner!r})"
+
+
+def _corrupt(payload: bytes, nbytes: int, rng: random.Random) -> bytes:
+    if not payload:
+        return payload
+    mutated = bytearray(payload)
+    for _ in range(max(1, nbytes)):
+        position = rng.randrange(0, len(mutated))
+        mutated[position] ^= rng.randrange(1, 256)
+    return bytes(mutated)
+
+
+# ---------------------------------------------------------------------------
+# flaky peers: the *service* fails, not the link
+
+
+class _FlakyMixin:
+    """Shared probabilistic/scripted service-failure behaviour."""
+
+    def _init_flaky(
+        self,
+        failure_rate: float,
+        fail_on: Iterable[int],
+        seed: int,
+    ) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError(f"failure rate {failure_rate} outside [0,1]")
+        self._failure_rate = failure_rate
+        self._fail_on = frozenset(fail_on)
+        self._flaky_rng = random.Random(seed)
+        self.request_index = 0
+        self.failures_injected = 0
+
+    def _maybe_fail(self) -> None:
+        index = self.request_index
+        self.request_index += 1
+        if index in self._fail_on or (
+            self._failure_rate > 0.0
+            and self._flaky_rng.random() < self._failure_rate
+        ):
+            self.failures_injected += 1
+            raise TransportError(
+                f"peer unavailable while serving request {index}"
+            )
+
+
+class FlakyFullNode(_FlakyMixin, FullNode):
+    """An *honest* full node whose service flaps.
+
+    Failures surface as :class:`TransportError` — indistinguishable, to
+    the client, from a dead link — so a resilient session must retry it
+    rather than ban it: when it does answer, the answer verifies.
+    """
+
+    def __init__(
+        self,
+        system,
+        failure_rate: float = 0.0,
+        fail_on: Iterable[int] = (),
+        seed: int = 0,
+    ) -> None:
+        FullNode.__init__(self, system)
+        self._init_flaky(failure_rate, fail_on, seed)
+
+    def handle_query(self, payload: bytes) -> bytes:
+        self._maybe_fail()
+        return super().handle_query(payload)
+
+    def handle_batch_query(self, payload: bytes) -> bytes:
+        self._maybe_fail()
+        return super().handle_batch_query(payload)
+
+    def handle_headers(self, payload: bytes) -> bytes:
+        self._maybe_fail()
+        return super().handle_headers(payload)
+
+
+class ByzantineFlakyFullNode(_FlakyMixin, FullNode):
+    """The worst peer: flaps like a flaky node *and* lies when it serves.
+
+    ``attack`` is any :data:`repro.query.adversary.Attack`;
+    ``attack_rate`` < 1 makes the malice intermittent, modelling a peer
+    that builds a good reputation before striking.
+    """
+
+    def __init__(
+        self,
+        system,
+        attack,
+        failure_rate: float = 0.0,
+        fail_on: Iterable[int] = (),
+        attack_rate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        from repro.query.adversary import MaliciousFullNode
+
+        FullNode.__init__(self, system)
+        self._init_flaky(failure_rate, fail_on, seed)
+        self._malicious = MaliciousFullNode(system, attack)
+        if not 0.0 <= attack_rate <= 1.0:
+            raise ValueError(f"attack rate {attack_rate} outside [0,1]")
+        self._attack_rate = attack_rate
+        self._attack_rng = random.Random(seed ^ 0x5EED)
+
+    def answer(self, address, first_height=1, last_height=None):
+        if self._attack_rng.random() < self._attack_rate:
+            return self._malicious.answer(address, first_height, last_height)
+        return super().answer(address, first_height, last_height)
+
+    def answer_batch(self, addresses, first_height=1, last_height=None):
+        if self._attack_rng.random() < self._attack_rate:
+            return self._malicious.answer_batch(
+                addresses, first_height, last_height
+            )
+        return super().answer_batch(addresses, first_height, last_height)
+
+    def handle_query(self, payload: bytes) -> bytes:
+        self._maybe_fail()
+        return super().handle_query(payload)
+
+    def handle_batch_query(self, payload: bytes) -> bytes:
+        self._maybe_fail()
+        return super().handle_batch_query(payload)
+
+    def handle_headers(self, payload: bytes) -> bytes:
+        self._maybe_fail()
+        return super().handle_headers(payload)
+
+
+__all__ = [
+    "FaultKind",
+    "FaultRule",
+    "FaultSchedule",
+    "FaultyTransport",
+    "FlakyFullNode",
+    "ByzantineFlakyFullNode",
+]

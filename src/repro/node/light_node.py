@@ -17,9 +17,40 @@ from repro.chain.blockchain import header_storage_bytes
 from repro.errors import NoHonestPeerError, ReproError, VerificationError
 from repro.node.full_node import FullNode
 from repro.node.messages import QueryRequest, QueryResponse
-from repro.node.transport import InProcessTransport
+from repro.node.transport import InProcessTransport, TransportStats
 from repro.query.config import SystemConfig
 from repro.query.verifier import VerifiedHistory, verify_result
+
+
+class MultiPeerReport:
+    """Outcome accounting for one :meth:`LightNode.query_history_any` call.
+
+    ``winner`` is the label of the peer whose answer verified (``None``
+    when all failed), ``stats`` maps every queried peer's label to the
+    :class:`TransportStats` its attempt accumulated, and ``reasons``
+    records why each losing peer was rejected.
+    """
+
+    __slots__ = ("winner", "stats", "reasons")
+
+    def __init__(self) -> None:
+        self.winner: "Optional[str]" = None
+        self.stats: "dict[str, TransportStats]" = {}
+        self.reasons: "dict[str, Exception]" = {}
+
+    def total_stats(self) -> TransportStats:
+        """Bytes across *all* peers — what the client's link really paid."""
+        total = TransportStats()
+        for stats in self.stats.values():
+            total.merge(stats)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiPeerReport(winner={self.winner!r}, "
+            f"tried={sorted(self.stats)}, "
+            f"total={self.total_stats().total_bytes}B)"
+        )
 
 
 class LightNode:
@@ -30,6 +61,8 @@ class LightNode:
     ) -> None:
         self.headers: List[BlockHeader] = list(headers)
         self.config = config
+        #: Set by :meth:`query_history_any`: winner + per-peer stats.
+        self.last_query_report: "Optional[MultiPeerReport]" = None
 
     @classmethod
     def from_full_node(cls, full_node: FullNode) -> "LightNode":
@@ -206,6 +239,8 @@ class LightNode:
         address: str,
         first_height: int = 1,
         last_height: Optional[int] = None,
+        transports: "Optional[Sequence[InProcessTransport]]" = None,
+        labels: "Optional[Sequence[str]]" = None,
     ) -> VerifiedHistory:
         """Query several peers; accept the first verifiable answer.
 
@@ -215,22 +250,53 @@ class LightNode:
         cannot disagree) or is rejected.  Raises
         :class:`NoHonestPeerError` carrying every peer's rejection reason
         when *all* answers fail.
+
+        ``transports`` optionally supplies one transport per peer (e.g.
+        fault-injecting wrappers), and ``labels`` names the peers in
+        reports and error reasons (default ``peer0..N``).  After every
+        call — success or failure — :attr:`last_query_report` holds a
+        :class:`MultiPeerReport` with the winning peer's label and the
+        per-peer byte accounting, so multi-peer experiments no longer
+        lose the losers' traffic.
         """
         if not full_nodes:
             raise VerificationError("no peers to query")
-        reasons: "dict[str, Exception]" = {}
+        if transports is not None and len(transports) != len(full_nodes):
+            raise VerificationError(
+                f"{len(transports)} transports for {len(full_nodes)} peers"
+            )
+        if labels is not None:
+            if len(labels) != len(full_nodes):
+                raise VerificationError(
+                    f"{len(labels)} labels for {len(full_nodes)} peers"
+                )
+            if len(set(labels)) != len(labels):
+                raise VerificationError("peer labels must be distinct")
+        report = MultiPeerReport()
+        self.last_query_report = report
         for index, full_node in enumerate(full_nodes):
-            label = f"peer{index}"
+            label = labels[index] if labels is not None else f"peer{index}"
+            transport = (
+                transports[index]
+                if transports is not None
+                else InProcessTransport()
+            )
             try:
-                return self.query_history(
+                history = self.query_history(
                     full_node,
                     address,
+                    transport=transport,
                     first_height=first_height,
                     last_height=last_height,
                 )
             except ReproError as error:
-                reasons[label] = error
-        raise NoHonestPeerError(reasons)
+                report.reasons[label] = error
+                report.stats[label] = transport.stats
+            else:
+                report.winner = label
+                report.stats[label] = transport.stats
+                return history
+        raise NoHonestPeerError(report.reasons)
 
     def query_batch(
         self,
@@ -288,4 +354,4 @@ class LightNode:
         )
 
 
-__all__ = ["LightNode", "VerificationError"]
+__all__ = ["LightNode", "MultiPeerReport", "VerificationError"]

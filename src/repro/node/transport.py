@@ -35,6 +35,22 @@ class TransportStats:
     def total_bytes(self) -> int:
         return self.bytes_to_server + self.bytes_to_client
 
+    def merge(self, other: "TransportStats") -> "TransportStats":
+        """Accumulate ``other`` into self (per-peer session accounting)."""
+        self.bytes_to_server += other.bytes_to_server
+        self.bytes_to_client += other.bytes_to_client
+        self.messages_to_server += other.messages_to_server
+        self.messages_to_client += other.messages_to_client
+        return self
+
+    def as_dict(self) -> "dict[str, int]":
+        return {
+            "bytes_to_server": self.bytes_to_server,
+            "bytes_to_client": self.bytes_to_client,
+            "messages_to_server": self.messages_to_server,
+            "messages_to_client": self.messages_to_client,
+        }
+
     def __repr__(self) -> str:
         return (
             f"TransportStats(→server {self.bytes_to_server}B/"
@@ -83,6 +99,35 @@ class LinkModel:
         return self.transfer_seconds(stats.total_bytes, round_trips)
 
 
+class SimulatedClock:
+    """Deterministic time source for timeout and backoff simulation.
+
+    Sessions and fault-injecting transports share one clock; latency is
+    *charged* to it (``advance``) rather than waited out, so chaos tests
+    covering hours of backoff run in milliseconds of wall time.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}")
+        self._now += seconds
+        return self._now
+
+    # ``sleep`` is an alias so session code reads like real client code.
+    sleep = advance
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(t={self._now:.3f}s)"
+
+
 class InProcessTransport:
     """A counted, optionally budgeted, request/response pipe."""
 
@@ -98,26 +143,43 @@ class InProcessTransport:
     def is_closed(self) -> bool:
         return self._closed
 
-    def _charge(self, size: int) -> None:
+    def _charge(self, size: int) -> int:
+        """Admit up to ``size`` bytes against the budget.
+
+        Returns the number of bytes that actually made it across before
+        the link died (all of them on a healthy link).  A budget-killed
+        link closes itself; the *caller* records the partial delivery so
+        experiments never under-count bytes that really crossed the wire.
+        """
         if self._closed:
             raise TransportError("transport is closed")
         if self._byte_budget is not None:
-            if self.stats.total_bytes + size > self._byte_budget:
+            room = self._byte_budget - self.stats.total_bytes
+            if size > room:
                 self._closed = True
-                raise TransportError(
-                    f"byte budget {self._byte_budget} exhausted mid-transfer"
-                )
+                return max(room, 0)
+        return size
 
     def send_to_server(self, payload: bytes) -> bytes:
         """Client-side send; returns the payload as the server receives it."""
-        self._charge(len(payload))
-        self.stats.bytes_to_server += len(payload)
+        delivered = self._charge(len(payload))
+        self.stats.bytes_to_server += delivered
+        if delivered < len(payload):
+            raise TransportError(
+                f"byte budget {self._byte_budget} exhausted mid-transfer "
+                f"({delivered} of {len(payload)} bytes delivered)"
+            )
         self.stats.messages_to_server += 1
         return payload
 
     def send_to_client(self, payload: bytes) -> bytes:
         """Server-side send; returns the payload as the client receives it."""
-        self._charge(len(payload))
-        self.stats.bytes_to_client += len(payload)
+        delivered = self._charge(len(payload))
+        self.stats.bytes_to_client += delivered
+        if delivered < len(payload):
+            raise TransportError(
+                f"byte budget {self._byte_budget} exhausted mid-transfer "
+                f"({delivered} of {len(payload)} bytes delivered)"
+            )
         self.stats.messages_to_client += 1
         return payload

@@ -346,6 +346,52 @@ def duplicate_segment(result: QueryResult) -> QueryResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# composition with the fault layer
+
+
+def compose_attacks(*attacks: Attack) -> Attack:
+    """One attack applying several in sequence (layered adversary).
+
+    Used by the chaos suite to pair content attacks with link faults:
+    ``MaliciousFullNode(system, compose_attacks(a, b))`` behind a
+    :class:`repro.node.faults.FaultyTransport` exercises a peer that lies
+    *and* whose link mangles the lie further.
+    """
+
+    def composed(result: QueryResult) -> QueryResult:
+        for attack in attacks:
+            result = attack(result)
+        return result
+
+    composed.__name__ = "+".join(
+        getattr(attack, "__name__", "attack") for attack in attacks
+    )
+    return composed
+
+
+def intermittent(attack: Attack, period: int) -> Attack:
+    """Apply ``attack`` only every ``period``-th call (reputation farming).
+
+    A peer that answers honestly most of the time defeats naive "ban on
+    first failure" clients slowly; a sound verifier still rejects each
+    dishonest answer the moment it appears, which is what the session
+    quarantine tests pin down.
+    """
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    calls = {"n": 0}
+
+    def sometimes(result: QueryResult) -> QueryResult:
+        calls["n"] += 1
+        if calls["n"] % period == 0:
+            return attack(result)
+        return result
+
+    sometimes.__name__ = f"intermittent_{getattr(attack, '__name__', 'attack')}"
+    return sometimes
+
+
 #: Name → attack, for parametrized tests and the security example.
 ALL_ATTACKS = {
     "omit_one_transaction": omit_one_transaction,

@@ -1,0 +1,338 @@
+"""Chaos soundness gate: faults × attacks × systems, never a wrong answer.
+
+The paper's §V claim under the ROADMAP's operating envelope: whatever a
+malicious peer does to a proof *and* whatever a hostile link does to its
+bytes, a resilient client either returns a history identical to the
+honest baseline or raises a typed :class:`ReproError` — never a wrong
+history, never an untyped crash.
+
+Two layers:
+
+* a **seeded scenario matrix** (48 scenarios × 5 system kinds = 240,
+  fixed seed) mixing honest/flaky/byzantine peers with randomized fault
+  schedules, asserting the soundness invariant on every one and **100%
+  availability** on the benign subset (drop/latency-only faults on a
+  reachable honest peer — the schedules there are finite scripts, so
+  success is structural, not probabilistic);
+* a **hypothesis property test** (derandomized, CI-stable) drawing
+  arbitrary fault-rule sets composed with arbitrary content attacks.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.node.faults import (
+    ByzantineFlakyFullNode,
+    FaultKind,
+    FaultRule,
+    FaultSchedule,
+    FaultyTransport,
+    FlakyFullNode,
+)
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.node.session import Peer, QuerySession, RetryPolicy
+from repro.node.transport import LinkModel, SimulatedClock
+from repro.query.adversary import (
+    ALL_ATTACKS,
+    MaliciousFullNode,
+    compose_attacks,
+    intermittent,
+)
+from repro.query.config import SystemKind
+
+SCENARIOS_PER_SYSTEM = 48
+MATRIX_SEED = 20200704  # ICDCS 2020; fixed for CI determinism
+
+_ATTACK_NAMES = sorted(ALL_ATTACKS)
+_PROBES = ("Addr1", "Addr2", "Addr3", "Addr4", "Addr5", "Addr6")
+
+#: Attacks a system kind is *documented* to accept (the paper's Challenge 3:
+#: strawman-family verifiers cannot count appearances, so a quiet omission
+#: goes through — see ``tests/query/test_adversary.py``).  The chaos matrix
+#: asserts "never a wrong answer" only over attacks the verifier under test
+#: actually claims to catch; the known gap has its own explicit test.
+_KNOWN_GAPS = {
+    SystemKind.STRAWMAN: frozenset({"omit_one_transaction"}),
+    SystemKind.STRAWMAN_HEADER_BF: frozenset({"omit_one_transaction"}),
+}
+
+
+def _catchable_attacks(kind):
+    gaps = _KNOWN_GAPS.get(kind, frozenset())
+    return [name for name in _ATTACK_NAMES if name not in gaps]
+
+_baselines = {}
+
+
+def _baseline(system, address, first, last):
+    """The honest answer, computed once per (system, address, range)."""
+    key = (system.config.kind, address, first, last)
+    if key not in _baselines:
+        light = LightNode(system.headers(), system.config)
+        history = light.query_history(
+            FullNode(system), address, first_height=first, last_height=last
+        )
+        _baselines[key] = [(h, t.txid()) for h, t in history.transactions]
+    return _baselines[key]
+
+
+def _history_key(history):
+    return [(h, t.txid()) for h, t in history.transactions]
+
+
+def _random_attack(rng, kind):
+    names = _catchable_attacks(kind)
+    name = rng.choice(names)
+    attack = ALL_ATTACKS[name]
+    roll = rng.random()
+    if roll < 0.15:
+        other = ALL_ATTACKS[rng.choice(names)]
+        return compose_attacks(attack, other)
+    if roll < 0.3:
+        return intermittent(attack, rng.randrange(1, 4))
+    return attack
+
+
+def _random_schedule(rng):
+    """A fully arbitrary (possibly mangling) fault schedule."""
+    rules = []
+    for _ in range(rng.randrange(0, 4)):
+        kind = rng.choice(list(FaultKind))
+        param = {
+            FaultKind.DELAY: rng.uniform(0.1, 3.0),
+            FaultKind.CORRUPT: rng.randrange(1, 6),
+            FaultKind.TRUNCATE: None,
+            FaultKind.CLOSE: None,
+            FaultKind.DROP: None,
+            FaultKind.DUPLICATE: None,
+            FaultKind.REORDER: None,
+        }[kind]
+        rules.append(
+            FaultRule(
+                kind,
+                direction=rng.choice(("both", "to_server", "to_client")),
+                probability=rng.uniform(0.1, 0.6),
+                param=param,
+            )
+        )
+    return FaultSchedule(rules, seed=rng.randrange(1 << 30))
+
+
+def _benign_schedule(rng):
+    """Drop/latency-only, *finite* drops: can slow a peer, never starve it."""
+    rules = []
+    dropped = sorted(
+        rng.sample(range(8), rng.randrange(0, 4))
+    )  # at most 4 early messages ever dropped
+    if dropped:
+        rules.append(FaultRule(FaultKind.DROP, at_messages=dropped))
+    if rng.random() < 0.7:
+        rules.append(
+            FaultRule(
+                FaultKind.DELAY,
+                probability=rng.uniform(0.2, 0.8),
+                param=rng.uniform(0.05, 0.5),
+            )
+        )
+    return FaultSchedule(rules, seed=rng.randrange(1 << 30))
+
+
+def _make_scenario(system, index):
+    """Deterministically build one chaos scenario from the matrix seed."""
+    kind_position = list(SystemKind).index(system.config.kind)
+    rng = random.Random(MATRIX_SEED + kind_position * 10_000 + index)
+    clock = SimulatedClock()
+    benign = index % 2 == 0  # half the matrix carries the availability gate
+
+    def link_factory(schedule):
+        link = (
+            LinkModel.home_broadband() if rng.random() < 0.5 else None
+        )
+        return lambda: FaultyTransport(
+            schedule=schedule, clock=clock, link=link
+        )
+
+    peers = []
+    if benign:
+        # Guaranteed-reachable honest peer: benign, finite faults only.
+        peers.append(
+            Peer(
+                "honest0",
+                FullNode(system),
+                transport_factory=link_factory(_benign_schedule(rng)),
+            )
+        )
+    num_extra = rng.randrange(0, 3) if benign else rng.randrange(1, 4)
+    for extra in range(num_extra):
+        style = rng.random()
+        label = f"extra{extra}"
+        if style < 0.3:
+            node = MaliciousFullNode(system, _random_attack(rng, system.config.kind))
+            peers.append(Peer(label, node))
+        elif style < 0.5:
+            node = ByzantineFlakyFullNode(
+                system,
+                _random_attack(rng, system.config.kind),
+                failure_rate=rng.uniform(0.0, 0.5),
+                attack_rate=rng.uniform(0.3, 1.0),
+                seed=rng.randrange(1 << 30),
+            )
+            peers.append(Peer(label, node))
+        elif style < 0.7:
+            node = FlakyFullNode(
+                system,
+                failure_rate=rng.uniform(0.2, 0.9),
+                seed=rng.randrange(1 << 30),
+            )
+            peers.append(Peer(label, node))
+        else:
+            peers.append(
+                Peer(
+                    label,
+                    FullNode(system),
+                    transport_factory=link_factory(_random_schedule(rng)),
+                )
+            )
+    rng.shuffle(peers)
+
+    address_name = rng.choice(_PROBES)
+    tip = system.tip_height
+    if rng.random() < 0.3 and tip > 4:
+        first = rng.randrange(1, tip - 2)
+        last = rng.randrange(first, tip + 1)
+    else:
+        first, last = 1, tip
+
+    session = QuerySession(
+        LightNode(system.headers(), system.config),
+        peers,
+        clock=clock,
+        request_timeout=5.0,
+        retry=RetryPolicy(
+            max_rounds=6, base_delay=0.05, max_delay=1.0, jitter=0.25
+        ),
+        quarantine_base=0.05,
+        seed=rng.randrange(1 << 30),
+    )
+    return session, address_name, first, last, benign
+
+
+@pytest.mark.parametrize("index", range(SCENARIOS_PER_SYSTEM))
+def test_chaos_soundness(any_system, probe_addresses, index):
+    """THE gate: equal-to-baseline or typed error; benign ⇒ available."""
+    session, address_name, first, last, benign = _make_scenario(
+        any_system, index
+    )
+    address = probe_addresses[address_name]
+    expected = _baseline(any_system, address, first, last)
+    try:
+        history = session.query(address, first_height=first, last_height=last)
+    except ReproError:
+        # Denied, with a typed error — allowed, unless this scenario
+        # guarantees a reachable honest peer behind benign-only faults.
+        assert not benign, (
+            f"availability violated: benign scenario {index} on "
+            f"{any_system.config.kind.value} failed"
+        )
+    except BaseException as error:  # noqa: BLE001 - the invariant itself
+        pytest.fail(
+            f"non-ReproError escaped under chaos: {type(error).__name__}: "
+            f"{error}"
+        )
+    else:
+        assert _history_key(history) == expected, (
+            f"WRONG HISTORY under chaos on scenario {index} "
+            f"({any_system.config.kind.value})"
+        )
+
+
+def test_chaos_matrix_size():
+    """The acceptance criterion asks for >= 200 generated scenarios."""
+    assert SCENARIOS_PER_SYSTEM * len(list(SystemKind)) >= 200
+
+
+# ---------------------------------------------------------------------------
+# hypothesis property layer
+
+
+_fault_rule = st.builds(
+    FaultRule,
+    kind=st.sampled_from(list(FaultKind)),
+    direction=st.sampled_from(["both", "to_server", "to_client"]),
+    probability=st.floats(min_value=0.05, max_value=0.7),
+    param=st.one_of(st.none(), st.floats(min_value=0.1, max_value=4.0)),
+)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    rules=st.lists(_fault_rule, max_size=4),
+    attack_name=st.sampled_from(_ATTACK_NAMES),
+    schedule_seed=st.integers(min_value=0, max_value=2**20),
+    use_liar_link=st.booleans(),
+    address_name=st.sampled_from(_PROBES),
+)
+def test_chaos_property(
+    lvq_system,
+    probe_addresses,
+    rules,
+    attack_name,
+    schedule_seed,
+    use_liar_link,
+    address_name,
+):
+    """∀ fault schedule ∘ attack: identical history or ReproError."""
+    address = probe_addresses[address_name]
+    expected = _baseline(
+        lvq_system, address, 1, lvq_system.tip_height
+    )
+    clock = SimulatedClock()
+    schedule = FaultSchedule(rules, seed=schedule_seed)
+    liar = MaliciousFullNode(lvq_system, ALL_ATTACKS[attack_name])
+    liar_peer = (
+        Peer(
+            "liar",
+            liar,
+            transport_factory=lambda: FaultyTransport(
+                schedule=schedule, clock=clock
+            ),
+        )
+        if use_liar_link
+        else Peer("liar", liar)
+    )
+    honest_peer = (
+        Peer("honest", FullNode(lvq_system))
+        if use_liar_link
+        else Peer(
+            "honest",
+            FullNode(lvq_system),
+            transport_factory=lambda: FaultyTransport(
+                schedule=schedule, clock=clock
+            ),
+        )
+    )
+    session = QuerySession(
+        LightNode(lvq_system.headers(), lvq_system.config),
+        [liar_peer, honest_peer],
+        clock=clock,
+        request_timeout=5.0,
+        retry=RetryPolicy(max_rounds=3, base_delay=0.05, max_delay=0.5),
+        quarantine_base=0.05,
+        seed=schedule_seed,
+    )
+    try:
+        history = session.query(address)
+    except ReproError:
+        pass  # denied, typed — allowed
+    else:
+        assert _history_key(history) == expected

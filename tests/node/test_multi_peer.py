@@ -89,3 +89,86 @@ class TestQueryAny:
         ] + [FullNode(lvq_system)]
         history = light.query_history_any(peers, address)
         assert [(h, t.txid()) for h, t in history.transactions] == truth
+
+
+class TestMultiPeerReport:
+    def test_winner_and_stats_reported(self, lvq_system, light, probe_addresses):
+        """Per-peer transports and labels: the report names the winner
+        and keeps byte accounting for losers too."""
+        from repro.node.transport import InProcessTransport
+
+        address = probe_addresses["Addr5"]
+        peers = [
+            MaliciousFullNode(lvq_system, omit_one_transaction),
+            FullNode(lvq_system),
+        ]
+        transports = [InProcessTransport(), InProcessTransport()]
+        history = light.query_history_any(
+            peers,
+            address,
+            transports=transports,
+            labels=["liar", "honest"],
+        )
+        assert history.transactions
+        report = light.last_query_report
+        assert report.winner == "honest"
+        assert set(report.stats) == {"liar", "honest"}
+        # The liar's traffic is no longer thrown away.
+        assert report.stats["liar"].total_bytes > 0
+        assert report.stats["honest"].total_bytes > 0
+        assert report.total_stats().total_bytes == sum(
+            t.stats.total_bytes for t in transports
+        )
+        assert set(report.reasons) == {"liar"}
+
+    def test_labels_in_failure_reasons(self, lvq_system, light, probe_addresses):
+        peers = [
+            MaliciousFullNode(lvq_system, omit_one_transaction),
+            MaliciousFullNode(lvq_system, truncate_blocks),
+        ]
+        with pytest.raises(NoHonestPeerError) as excinfo:
+            light.query_history_any(
+                peers, probe_addresses["Addr6"], labels=["alpha", "beta"]
+            )
+        assert set(excinfo.value.reasons) == {"alpha", "beta"}
+        report = light.last_query_report
+        assert report.winner is None
+        assert set(report.stats) == {"alpha", "beta"}
+
+    def test_mismatched_transports_rejected(
+        self, lvq_system, light, probe_addresses
+    ):
+        from repro.node.transport import InProcessTransport
+
+        with pytest.raises(VerificationError):
+            light.query_history_any(
+                [FullNode(lvq_system)],
+                probe_addresses["Addr5"],
+                transports=[InProcessTransport(), InProcessTransport()],
+            )
+        with pytest.raises(VerificationError):
+            light.query_history_any(
+                [FullNode(lvq_system)],
+                probe_addresses["Addr5"],
+                labels=["a", "b"],
+            )
+
+    def test_faulty_peer_link_falls_through(
+        self, lvq_system, light, probe_addresses
+    ):
+        """A dead link on the first peer is just another rejection
+        reason; the second peer answers."""
+        from repro.node.transport import InProcessTransport
+
+        peers = [FullNode(lvq_system), FullNode(lvq_system)]
+        transports = [
+            InProcessTransport(byte_budget=10),  # dies on the request
+            InProcessTransport(),
+        ]
+        history = light.query_history_any(
+            peers, probe_addresses["Addr5"], transports=transports
+        )
+        assert history.transactions
+        report = light.last_query_report
+        assert report.winner == "peer1"
+        assert "peer0" in report.reasons

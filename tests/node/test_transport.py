@@ -111,3 +111,76 @@ class TestFailureInjection:
             light_node.query_history(
                 full_node, probe_addresses["Addr6"], starved
             )
+
+    def test_partial_delivery_is_recorded(self):
+        """A budget-killed send records the bytes that actually crossed
+        before the link died — experiments must not under-count."""
+        transport = InProcessTransport(byte_budget=10)
+        transport.send_to_server(b"1234567")  # 7 of 10 used
+        with pytest.raises(TransportError):
+            transport.send_to_client(b"abcdefgh")  # only 3 fit
+        assert transport.is_closed
+        assert transport.stats.bytes_to_server == 7
+        assert transport.stats.bytes_to_client == 3  # the partial prefix
+        assert transport.stats.total_bytes == 10
+        # The partial message never arrived, so it is not counted as one.
+        assert transport.stats.messages_to_client == 0
+
+    def test_partial_delivery_zero_room(self):
+        transport = InProcessTransport(byte_budget=4)
+        transport.send_to_server(b"1234")
+        with pytest.raises(TransportError):
+            transport.send_to_server(b"xy")
+        assert transport.stats.bytes_to_server == 4
+
+    def test_mid_query_failure_still_counts_bytes(
+        self, lvq_system, probe_addresses
+    ):
+        from repro.node.full_node import FullNode
+        from repro.node.light_node import LightNode
+
+        full_node = FullNode(lvq_system)
+        light_node = LightNode.from_full_node(full_node)
+        starved = InProcessTransport(byte_budget=50)
+        with pytest.raises(TransportError):
+            light_node.query_history(
+                full_node, probe_addresses["Addr6"], starved
+            )
+        # The request went out whole; the response died mid-transfer at
+        # the budget — exactly 50 bytes crossed the wire in total.
+        assert starved.stats.total_bytes == 50
+        assert starved.stats.bytes_to_client > 0
+
+
+class TestTransportStatsMerge:
+    def test_merge_accumulates(self):
+        from repro.node.transport import TransportStats
+
+        a = InProcessTransport()
+        b = InProcessTransport()
+        a.send_to_server(b"12345")
+        b.send_to_client(b"abc")
+        total = TransportStats()
+        total.merge(a.stats).merge(b.stats)
+        assert total.bytes_to_server == 5
+        assert total.bytes_to_client == 3
+        assert total.messages_to_server == 1
+        assert total.messages_to_client == 1
+        assert total.as_dict()["bytes_to_server"] == 5
+
+
+class TestSimulatedClock:
+    def test_advances_monotonically(self):
+        from repro.node.transport import SimulatedClock
+
+        clock = SimulatedClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        clock.sleep(0.5)  # alias
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_rejects_negative(self):
+        from repro.node.transport import SimulatedClock
+
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
