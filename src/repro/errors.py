@@ -51,6 +51,34 @@ class QueryError(ReproError):
     """The full node could not serve a query (unknown system, bad range)."""
 
 
+class ServerOverloadedError(QueryError):
+    """A query server's bounded request queue rejected new work.
+
+    The backpressure signal of :class:`repro.node.server.QueryServer`:
+    raised at submission time when every worker is busy and the pending
+    queue is full, so callers can shed load or retry with backoff
+    instead of growing an unbounded backlog.
+
+    * ``pending`` — requests queued (but not yet running) at rejection.
+    * ``max_pending`` — the configured queue bound.
+    """
+
+    def __init__(self, pending: int, max_pending: int) -> None:
+        super().__init__(
+            f"server overloaded: {pending} requests pending "
+            f"(bound {max_pending})"
+        )
+        self.pending = pending
+        self.max_pending = max_pending
+
+    def details(self) -> "dict[str, object]":
+        return {
+            "kind": type(self).__name__,
+            "pending": self.pending,
+            "max_pending": self.max_pending,
+        }
+
+
 class TransportError(ReproError):
     """Simulated network failure (closed transport, oversized message)."""
 

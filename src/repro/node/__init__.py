@@ -10,6 +10,7 @@ from repro.node.transport import (
 )
 from repro.node.full_node import FullNode
 from repro.node.light_node import LightNode
+from repro.node.server import QueryServer
 from repro.node.faults import (
     ByzantineFlakyFullNode,
     FaultKind,
@@ -37,6 +38,7 @@ __all__ = [
     "TransportStats",
     "FullNode",
     "LightNode",
+    "QueryServer",
     "FaultKind",
     "FaultRule",
     "FaultSchedule",

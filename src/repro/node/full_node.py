@@ -5,9 +5,22 @@ answers the two RPCs of the protocol: header sync and history queries.
 The honest implementation simply delegates to :func:`answer_query`; the
 security tests subclass/wrap it with adversarial behaviours from
 :mod:`repro.query.adversary`.
+
+Serving-side caching (DESIGN.md §8): each node carries its own
+:class:`~repro.query.cache.ResponseCache` of serialized query responses,
+keyed ``(address, first_height, requested_last, tip)`` and fronted by
+single-flight coalescing — N concurrent identical requests perform one
+proof generation and one serialization.  The cache is **per node**, not
+per system, because two nodes over one chain may answer differently (the
+adversarial test doubles tamper in ``answer``); it registers an append
+listener on the system so every new block drops the now-stale tip-keyed
+bytes.  For a pooled multi-worker front end, wrap the node in
+:class:`repro.node.server.QueryServer`.
 """
 
 from __future__ import annotations
+
+import weakref
 
 from repro.errors import QueryError
 from repro.node.messages import (
@@ -17,6 +30,7 @@ from repro.node.messages import (
     QueryResponse,
 )
 from repro.query.builder import BuiltSystem
+from repro.query.cache import ResponseCache
 from repro.query.prover import answer_query
 from repro.query.result import QueryResult
 
@@ -24,8 +38,28 @@ from repro.query.result import QueryResult
 class FullNode:
     """Serves headers and verifiable history queries from a built chain."""
 
-    def __init__(self, system: BuiltSystem) -> None:
+    def __init__(
+        self, system: BuiltSystem, response_cache_entries: int = 1024
+    ) -> None:
         self.system = system
+        #: Serialized answers for hot (address, range) pairs at the
+        #: current tip; dropped whenever the chain grows.
+        self.response_cache = ResponseCache(response_cache_entries)
+        #: Only honest answers are cacheable: subclasses that override
+        #: ``answer`` (the adversarial doubles, some stochastic) must be
+        #: re-invoked on every request so their per-call behaviour —
+        #: intermittent attacks, RNG-sequenced tampering — is preserved.
+        self._cache_responses = type(self).answer is FullNode.answer
+        # Register via weakref so short-lived nodes (tests build many
+        # per shared system) don't pin their caches in the listener list.
+        cache_ref = weakref.ref(self.response_cache)
+
+        def _drop_stale(ref=cache_ref):
+            cache = ref()
+            if cache is not None:
+                cache.invalidate_all()
+
+        system.add_append_listener(_drop_stale)
 
     @property
     def tip_height(self) -> int:
@@ -58,15 +92,36 @@ class FullNode:
         if not request.address:
             raise QueryError("empty address in query request")
         last = request.last_height if request.last_height else None
-        response = QueryResponse(
-            self.answer(request.address, request.first_height, last)
-        )
-        return response.serialize(self.system.config)
+        # Key and answer under one read-lock hold, so the tip in the key
+        # is exactly the tip the answer is produced against (appends wait
+        # for in-flight answers; the nested answer_query read is
+        # reentrant).  Identical concurrent misses coalesce into one
+        # proof generation via the cache's single-flight front.
+        with self.system.lock.read():
+
+            def build() -> bytes:
+                return QueryResponse(
+                    self.answer(request.address, request.first_height, last)
+                ).serialize(self.system.config)
+
+            if not self._cache_responses:
+                return build()
+            key = (
+                request.address,
+                request.first_height,
+                request.last_height,
+                self.system.tip_height,
+            )
+            return self.response_cache.get_or_build(key, build)
 
     def handle_batch_query(self, payload: bytes) -> bytes:
         from repro.node.messages import BatchQueryRequest, BatchQueryResponse
 
         request = BatchQueryRequest.deserialize(payload)
+        if not request.addresses:
+            raise QueryError("batch query request carries no addresses")
+        if any(not address for address in request.addresses):
+            raise QueryError("empty address in batch query request")
         last = request.last_height if request.last_height else None
         batch = self.answer_batch(request.addresses, request.first_height, last)
         return BatchQueryResponse(batch).serialize(self.system.config)
@@ -86,16 +141,17 @@ class FullNode:
 
     def handle_headers(self, payload: bytes) -> bytes:
         request = HeadersRequest.deserialize(payload)
-        if request.from_height > self.tip_height + 1:
-            raise QueryError(
-                f"no headers from height {request.from_height}; tip is "
-                f"{self.tip_height}"
+        with self.system.lock.read():
+            if request.from_height > self.tip_height + 1:
+                raise QueryError(
+                    f"no headers from height {request.from_height}; tip is "
+                    f"{self.tip_height}"
+                )
+            # Slice the block range first: O(requested headers), not O(chain).
+            response = HeadersResponse(
+                request.from_height,
+                self.system.chain.headers_from(request.from_height),
             )
-        # Slice the block range first: O(requested headers), not O(chain).
-        response = HeadersResponse(
-            request.from_height,
-            self.system.chain.headers_from(request.from_height),
-        )
         return response.serialize()
 
     def extend_chain(self, bodies) -> None:

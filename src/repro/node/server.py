@@ -1,0 +1,275 @@
+"""A concurrent query-serving front end over :class:`FullNode`.
+
+:class:`QueryServer` is the piece the ROADMAP's "heavy traffic" goal
+needs on the serving side: a fixed pool of worker threads draining a
+bounded request queue in FIFO order.  The pieces fit together as
+
+* **backpressure** — submissions beyond ``max_pending`` queued requests
+  fail *immediately* with :class:`ServerOverloadedError` instead of
+  growing an unbounded backlog, so an overloaded node degrades into
+  fast rejections that a resilient client (``QuerySession``) treats
+  like any other transient peer failure;
+* **concurrency safety** — workers call the node's RPC handlers, which
+  take the system's read lock; ``append_block`` takes the write lock,
+  so serving threads and the mining path interleave without torn state;
+* **coalescing** — identical concurrent queries collapse into one proof
+  generation inside the node's single-flight response cache, so a
+  thundering herd on a hot address costs one computation;
+* **observability** — per-request wait/service/total latency and queue
+  depth are recorded; :meth:`stats` reports counts, p50/p99, and the
+  node's cache counters.
+
+The request/response payloads are the exact wire messages of
+:mod:`repro.node.messages`; :meth:`submit` dispatches on the type tag,
+so a transport can hand every inbound frame to one entry point.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import List, Optional, Sequence
+
+from repro.errors import QueryError, ServerOverloadedError
+from repro.node import messages as _messages
+from repro.node.full_node import FullNode
+
+#: Message type tag → FullNode handler name.
+_DISPATCH = {
+    _messages._MSG_QUERY_REQUEST: "handle_query",
+    _messages._MSG_HEADERS_REQUEST: "handle_headers",
+    _messages._MSG_BATCH_REQUEST: "handle_batch_query",
+}
+
+_SHUTDOWN = object()
+
+
+class _PendingRequest:
+    __slots__ = ("payload", "future", "submitted_at")
+
+    def __init__(self, payload: bytes, future: "Future[bytes]") -> None:
+        self.payload = payload
+        self.future = future
+        self.submitted_at = time.perf_counter()
+
+
+def _percentile(sorted_values: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = round(quantile * (len(sorted_values) - 1))
+    return sorted_values[rank]
+
+
+def _latency_summary(samples: Sequence[float]) -> "dict[str, float]":
+    ordered = sorted(samples)
+    count = len(ordered)
+    return {
+        "count": count,
+        "mean_ms": (sum(ordered) / count * 1000.0) if count else 0.0,
+        "p50_ms": _percentile(ordered, 0.50) * 1000.0,
+        "p99_ms": _percentile(ordered, 0.99) * 1000.0,
+        "max_ms": (ordered[-1] * 1000.0) if count else 0.0,
+    }
+
+
+class QueryServer:
+    """A worker pool serving one :class:`FullNode` to many clients."""
+
+    def __init__(
+        self,
+        node: FullNode,
+        num_workers: int = 4,
+        max_pending: int = 64,
+        latency_window: int = 8192,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"need at least one worker, got {num_workers}")
+        if max_pending < 1:
+            raise ValueError(f"queue bound must be >= 1, got {max_pending}")
+        self.node = node
+        self.num_workers = num_workers
+        self.max_pending = max_pending
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=max_pending)
+        self._submit_lock = threading.Lock()
+        self._closed = False
+
+        self._stats_lock = threading.Lock()
+        self._submitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._in_flight = 0
+        self._peak_queue_depth = 0
+        self._total_latency: "deque[float]" = deque(maxlen=latency_window)
+        self._wait_latency: "deque[float]" = deque(maxlen=latency_window)
+        self._service_latency: "deque[float]" = deque(maxlen=latency_window)
+
+        self._workers: List[threading.Thread] = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"query-server-worker-{i}",
+                daemon=True,
+            )
+            for i in range(num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- client API ----------------------------------------------------------
+
+    def submit(self, payload: bytes) -> "Future[bytes]":
+        """Queue one raw request frame; resolves to the response bytes.
+
+        Raises :class:`ServerOverloadedError` when the pending queue is
+        full (backpressure) and :class:`QueryError` once closed.
+        """
+        if not payload:
+            raise QueryError("empty request payload")
+        if payload[0] not in _DISPATCH:
+            raise QueryError(f"unknown request tag {payload[0]}")
+        request = _PendingRequest(payload, Future())
+        with self._submit_lock:
+            if self._closed:
+                raise QueryError("query server is closed")
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                with self._stats_lock:
+                    self._rejected += 1
+                raise ServerOverloadedError(
+                    self._queue.qsize(), self.max_pending
+                ) from None
+        with self._stats_lock:
+            self._submitted += 1
+            depth = self._queue.qsize()
+            if depth > self._peak_queue_depth:
+                self._peak_queue_depth = depth
+        return request.future
+
+    def submit_query(
+        self, address: str, first_height: int = 1, last_height: int = 0
+    ) -> "Future[bytes]":
+        """Convenience: build and queue a history-query frame."""
+        request = _messages.QueryRequest(address, first_height, last_height)
+        return self.submit(request.serialize())
+
+    def query(
+        self,
+        address: str,
+        first_height: int = 1,
+        last_height: int = 0,
+        timeout: Optional[float] = None,
+    ) -> bytes:
+        """Blocking single query; returns the serialized response."""
+        return self.submit_query(address, first_height, last_height).result(
+            timeout
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every accepted request has finished.
+
+        Returns ``False`` if ``timeout`` elapsed first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._stats_lock:
+                idle = self._queue.empty() and self._in_flight == 0
+            if idle:
+                return True
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            time.sleep(0.001)
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting work; optionally finish the backlog first.
+
+        With ``drain=False`` every queued-but-unstarted request fails
+        with :class:`QueryError`; in-flight requests still complete.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _SHUTDOWN:
+                    item.future.set_exception(
+                        QueryError("query server closed before request ran")
+                    )
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        for worker in self._workers:
+            worker.join(timeout)
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close(drain=True)
+
+    # -- worker side ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            started_at = time.perf_counter()
+            if not item.future.set_running_or_notify_cancel():
+                continue
+            with self._stats_lock:
+                self._in_flight += 1
+            try:
+                handler = getattr(self.node, _DISPATCH[item.payload[0]])
+                response = handler(item.payload)
+            except BaseException as exc:  # typed errors flow to the caller
+                succeeded = False
+                item.future.set_exception(exc)
+            else:
+                succeeded = True
+                item.future.set_result(response)
+            finished_at = time.perf_counter()
+            with self._stats_lock:
+                self._in_flight -= 1
+                if succeeded:
+                    self._completed += 1
+                else:
+                    self._failed += 1
+                self._total_latency.append(finished_at - item.submitted_at)
+                self._wait_latency.append(started_at - item.submitted_at)
+                self._service_latency.append(finished_at - started_at)
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> "dict[str, object]":
+        """Snapshot of counters, latency percentiles and cache state."""
+        with self._stats_lock:
+            report = {
+                "workers": self.num_workers,
+                "max_pending": self.max_pending,
+                "submitted": self._submitted,
+                "rejected": self._rejected,
+                "completed": self._completed,
+                "failed": self._failed,
+                "in_flight": self._in_flight,
+                "queue_depth": self._queue.qsize(),
+                "peak_queue_depth": self._peak_queue_depth,
+                "latency": _latency_summary(self._total_latency),
+                "queue_wait": _latency_summary(self._wait_latency),
+                "service": _latency_summary(self._service_latency),
+            }
+        report["caches"] = {
+            "responses": self.node.response_cache.stats(),
+            **self.node.system.caches.stats(),
+        }
+        return report

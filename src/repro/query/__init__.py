@@ -17,8 +17,15 @@ produces a :class:`QueryResult`; ``verify_result`` (light-node side)
 checks correctness *and* completeness against headers only.
 """
 
+from repro.query.cache import (
+    LRUCache,
+    QueryCaches,
+    ResponseCache,
+    RWLock,
+    SingleFlight,
+)
 from repro.query.config import SystemConfig, SystemKind, bf_commitment
-from repro.query.builder import BuiltSystem, build_system
+from repro.query.builder import BuiltSystem, build_system, build_system_parallel
 from repro.query.fragments import (
     BlockResolution,
     ExistenceResolution,
@@ -48,6 +55,12 @@ __all__ = [
     "bf_commitment",
     "BuiltSystem",
     "build_system",
+    "build_system_parallel",
+    "LRUCache",
+    "QueryCaches",
+    "ResponseCache",
+    "RWLock",
+    "SingleFlight",
     "BlockResolution",
     "ExistenceResolution",
     "FpmResolution",

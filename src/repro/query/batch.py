@@ -224,9 +224,26 @@ def answer_batch_query(
     first_height: int = 1,
     last_height: "int | None" = None,
 ) -> BatchQueryResult:
-    """The honest full node's shared answer for several addresses."""
+    """The honest full node's shared answer for several addresses.
+
+    Runs under the system's read lock (reentrantly shared with the
+    nested per-address ``answer_query`` calls), so the whole batch is
+    answered against one consistent tip.
+    """
     if not addresses:
         raise QueryError("batch query needs at least one address")
+    if any(not address for address in addresses):
+        raise QueryError("empty address in batch query")
+    with system.lock.read():
+        return _answer_batch_locked(system, addresses, first_height, last_height)
+
+
+def _answer_batch_locked(
+    system: BuiltSystem,
+    addresses: Sequence[str],
+    first_height: int,
+    last_height: "int | None",
+) -> "BatchQueryResult":
     if last_height is None:
         last_height = system.tip_height
     config = system.config

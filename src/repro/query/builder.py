@@ -4,11 +4,28 @@
 the prover and the chain can never drift apart: the BFs, SMTs, MTs and the
 BMT forest stored in :class:`BuiltSystem` are exactly the objects whose
 roots the headers commit to.
+
+Assembly is split into two phases so it can go parallel without changing
+a single output byte:
+
+1. **per-block indexing** (``_block_indexes``) — the txid Merkle tree,
+   the address Bloom filter and the SMT depend only on that block's
+   transactions, so blocks index independently;
+2. **sequential stitching** — ``prev_hash`` linkage, BMT forest merging
+   and the header extension are inherently ordered and stay in one
+   thread.
+
+``build_system(..., workers=N)`` runs phase 1 on a chunked thread or
+process pool; the stitch replays the exact sequential logic, so the
+parallel build is byte-identical to the sequential one (pinned by
+``tests/query/test_parallel_build.py`` and the serving benchmark's
+equivalence block).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import os
+from typing import Callable, List, Optional, Sequence
 
 from repro.bloom.filter import BloomFilter
 from repro.chain.address import address_item
@@ -30,12 +47,22 @@ from repro.errors import QueryError
 from repro.merkle.bmt import BmtForest, BmtTree
 from repro.merkle.sorted_tree import SortedMerkleTree
 from repro.merkle.tree import MerkleTree
+from repro.query.cache import QueryCaches, RWLock
 from repro.query.config import SystemConfig, SystemKind, bf_commitment
 from repro.query.index import AddressIndex
 
 
 class BuiltSystem:
-    """A chain plus the full-node-side indexes for one prototype system."""
+    """A chain plus the full-node-side indexes for one prototype system.
+
+    Concurrency contract (DESIGN.md §8): readers (the query path) hold
+    ``lock.read()``; the only writer is :meth:`append_block`, which holds
+    ``lock.write()``.  Everything a query touches — chain, filters,
+    SMTs, Merkle trees, forest, inverted index — is append-only and
+    immutable below the tip, so readers running concurrently with each
+    other are always safe; the lock only fences them against a
+    half-appended block.
+    """
 
     __slots__ = (
         "config",
@@ -45,8 +72,9 @@ class BuiltSystem:
         "merkle_trees",
         "forest",
         "address_index",
-        "resolution_cache",
-        "segment_cache",
+        "caches",
+        "lock",
+        "_append_listeners",
     )
 
     def __init__(
@@ -58,6 +86,7 @@ class BuiltSystem:
         merkle_trees: List[MerkleTree],
         forest: Optional[BmtForest],
         address_index: Optional[AddressIndex] = None,
+        caches: Optional[QueryCaches] = None,
     ) -> None:
         self.config = config
         self.chain = chain
@@ -72,22 +101,47 @@ class BuiltSystem:
         #: Inverted ``address → (height, tx_index)`` postings — the
         #: prover's fast path (``None`` only for hand-built systems).
         self.address_index = address_index
-        #: Memoized block resolutions keyed ``(address, height)``; safe
-        #: because blocks are immutable once appended.
-        self.resolution_cache: "dict[tuple[str, int], object]" = {}
-        #: Memoized ``(multiproof, failed_heights)`` per segment, keyed
-        #: ``(address, anchor, start, end, clipped_range)``.  A BMT over
-        #: a fixed block span never changes after it is merged, so the
-        #: proof for that span cannot go stale; new blocks only add new
-        #: spans (new keys).  The multiproof object is shared across
-        #: answers — proofs are read-only to honest consumers, and the
-        #: tampering tests deep-copy before attacking.
-        self.segment_cache: "dict[tuple, object]" = {}
+        #: Bounded, thread-safe memo caches (resolutions + segment
+        #: multiproofs).  Both hold append-stable values; see
+        #: :mod:`repro.query.cache` for the invalidation rules.
+        self.caches = caches if caches is not None else QueryCaches()
+        #: Readers/writer lock fencing queries against ``append_block``.
+        self.lock = RWLock()
+        #: Tip-change callbacks (e.g. per-node response caches); fired
+        #: after each append, while the write lock is still held.
+        self._append_listeners: "List[Callable[[], None]]" = []
+
+    @property
+    def resolution_cache(self):
+        """Memoized block resolutions keyed ``(address, height)`` —
+        bounded LRU; blocks are immutable once appended, so entries
+        never go stale."""
+        return self.caches.resolutions
+
+    @property
+    def segment_cache(self):
+        """Memoized ``(multiproof, failed_heights)`` per segment, keyed
+        ``(address, anchor, start, end, clipped_range)`` — bounded LRU.
+        A BMT over a fixed block span never changes after it is merged,
+        so the proof for that span cannot go stale; new blocks only add
+        new spans (new keys).  The multiproof object is shared across
+        answers — proofs are read-only to honest consumers, and the
+        tampering tests deep-copy before attacking."""
+        return self.caches.segments
 
     def clear_query_caches(self) -> None:
         """Drop memoized query state (for cold-cache benchmarking)."""
-        self.resolution_cache.clear()
-        self.segment_cache.clear()
+        self.caches.clear()
+        for listener in self._append_listeners:
+            listener()
+
+    def add_append_listener(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired after every appended block.
+
+        Used by serving-side caches whose entries are keyed by tip (the
+        response-byte caches on :class:`~repro.node.full_node.FullNode`).
+        """
+        self._append_listeners.append(listener)
 
     @property
     def tip_height(self) -> int:
@@ -109,33 +163,23 @@ class BuiltSystem:
 
         Computes the same per-block indexes and header commitments as
         :func:`build_system`, so a chain grown block-by-block is
-        byte-identical to one built in a single pass.
+        byte-identical to one built in a single pass.  Holds the write
+        lock for the whole append, then notifies tip listeners.
         """
-        height = len(self.chain)
-        prev_hash = self.chain.header_at(height - 1).block_id()
-        block, indexes = _assemble_block(
-            self.config, height, prev_hash, list(transactions), self.forest
-        )
-        self.chain.append(block)
-        self.filters.append(indexes.bf)
-        self.smts.append(indexes.smt)
-        self.merkle_trees.append(indexes.merkle_tree)
-        if self.address_index is not None:
-            self.address_index.add_block(height, block.transactions)
-
-
-def _block_filter(
-    transactions: Sequence[Transaction], config: SystemConfig
-) -> BloomFilter:
-    """The per-block address filter (every unique address, once)."""
-    addresses = set()
-    for transaction in transactions:
-        addresses.update(transaction.addresses())
-    return BloomFilter.from_items(
-        (address_item(address) for address in sorted(addresses)),
-        config.bf_bits,
-        config.num_hashes,
-    )
+        with self.lock.write():
+            height = len(self.chain)
+            prev_hash = self.chain.header_at(height - 1).block_id()
+            block, indexes = _assemble_block(
+                self.config, height, prev_hash, list(transactions), self.forest
+            )
+            self.chain.append(block)
+            self.filters.append(indexes.bf)
+            self.smts.append(indexes.smt)
+            self.merkle_trees.append(indexes.merkle_tree)
+            if self.address_index is not None:
+                self.address_index.add_block(height, block.transactions)
+            for listener in self._append_listeners:
+                listener()
 
 
 def _extension_for(
@@ -169,7 +213,12 @@ def _extension_for(
 
 
 class _BlockIndexes:
-    """Per-block full-node indexes produced alongside a block."""
+    """Per-block full-node indexes produced alongside a block.
+
+    Order-independent by construction: everything here derives from one
+    block's transactions alone, which is what lets ``build_system``
+    compute these on a pool.
+    """
 
     __slots__ = ("bf", "smt", "merkle_tree")
 
@@ -184,49 +233,125 @@ class _BlockIndexes:
         self.merkle_tree = merkle_tree
 
 
+def _block_indexes(
+    config: SystemConfig, transactions: Sequence[Transaction]
+) -> _BlockIndexes:
+    """Phase 1: the order-independent per-block indexes.
+
+    One pass over ``transaction.addresses()`` feeds both the Bloom
+    filter (unique addresses) and the SMT (appearance counts).
+    """
+    merkle_tree = MerkleTree([tx.txid() for tx in transactions])
+    counts: "dict[str, int]" = {}
+    for transaction in transactions:
+        for address in transaction.addresses():
+            counts[address] = counts.get(address, 0) + 1
+    bf = BloomFilter.from_items(
+        (address_item(address) for address in sorted(counts)),
+        config.bf_bits,
+        config.num_hashes,
+    )
+    smt = SortedMerkleTree.from_counts(counts) if config.uses_smt else None
+    return _BlockIndexes(bf, smt, merkle_tree)
+
+
 def _assemble_block(
     config: SystemConfig,
     height: int,
     prev_hash: bytes,
     transactions: List[Transaction],
     forest: Optional[BmtForest],
+    indexes: Optional[_BlockIndexes] = None,
 ):
-    """Build one block plus its indexes; registers its BF in the forest."""
-    merkle_tree = MerkleTree([tx.txid() for tx in transactions])
-    bf = _block_filter(transactions, config)
-    smt: Optional[SortedMerkleTree] = None
-    if config.uses_smt:
-        counts: "dict[str, int]" = {}
-        for transaction in transactions:
-            for address in transaction.addresses():
-                counts[address] = counts.get(address, 0) + 1
-        smt = SortedMerkleTree.from_counts(counts)
+    """Build one block plus its indexes; registers its BF in the forest.
+
+    ``indexes`` carries phase-1 output when it was precomputed on a
+    pool; the sequential path just computes it inline.
+    """
+    if indexes is None:
+        indexes = _block_indexes(config, transactions)
     if forest is not None and height >= 1:
-        forest.add_block(height, bf)
-    extension = _extension_for(config, height, bf, smt, forest)
+        forest.add_block(height, indexes.bf)
+    extension = _extension_for(config, height, indexes.bf, indexes.smt, forest)
     header = BlockHeader(
         prev_hash=prev_hash,
-        merkle_root=merkle_tree.root,
+        merkle_root=indexes.merkle_tree.root,
         timestamp=1_230_000_000 + height * 600,  # ten-minute cadence
         extension=extension,
     )
     # Hand the freshly built tree to the block so Blockchain.append's
     # Merkle-root validation reuses it instead of re-hashing every txid.
-    return Block(header, transactions, height, merkle_tree), _BlockIndexes(
-        bf, smt, merkle_tree
+    return Block(header, transactions, height, indexes.merkle_tree), indexes
+
+
+def _index_chunk(
+    config: SystemConfig, chunk: "List[List[Transaction]]"
+) -> "List[_BlockIndexes]":
+    """Pool task: phase-1 indexes for a contiguous run of bodies.
+
+    Module-level (not a closure) so a process pool can pickle it.
+    """
+    return [_block_indexes(config, transactions) for transactions in chunk]
+
+
+def _parallel_block_indexes(
+    bodies: Sequence[Sequence[Transaction]],
+    config: SystemConfig,
+    workers: int,
+    executor: str,
+    chunk_size: Optional[int],
+) -> "List[_BlockIndexes]":
+    from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+    if executor not in ("thread", "process"):
+        raise QueryError(
+            f"unknown build executor {executor!r} (thread|process)"
+        )
+    if chunk_size is None:
+        # ~4 chunks per worker keeps the pool busy through stragglers
+        # without drowning in per-chunk dispatch overhead.
+        chunk_size = max(1, len(bodies) // (workers * 4))
+    chunks = [
+        [list(transactions) for transactions in bodies[i:i + chunk_size]]
+        for i in range(0, len(bodies), chunk_size)
+    ]
+    pool_cls = (
+        ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
     )
+    with pool_cls(max_workers=workers) as pool:
+        indexed_chunks = list(
+            pool.map(_index_chunk, [config] * len(chunks), chunks)
+        )
+    return [indexes for chunk in indexed_chunks for indexes in chunk]
 
 
 def build_system(
-    bodies: Sequence[Sequence[Transaction]], config: SystemConfig
+    bodies: Sequence[Sequence[Transaction]],
+    config: SystemConfig,
+    *,
+    workers: Optional[int] = None,
+    executor: str = "thread",
+    chunk_size: Optional[int] = None,
+    caches: Optional[QueryCaches] = None,
 ) -> BuiltSystem:
     """Assemble a chain from workload ``bodies`` under ``config``.
 
     ``bodies[h]`` is the transaction list of height ``h``; index 0 is the
     genesis block.  Raises :class:`QueryError` on an empty workload.
+
+    ``workers > 1`` computes the per-block indexes on a chunked pool
+    (``executor`` selects threads or processes) and then stitches the
+    ``prev_hash``/forest chain sequentially; the result is byte-identical
+    to the single-threaded build.
     """
     if not bodies:
         raise QueryError("cannot build a chain from an empty workload")
+
+    precomputed: "Optional[List[_BlockIndexes]]" = None
+    if workers is not None and workers > 1:
+        precomputed = _parallel_block_indexes(
+            bodies, config, workers, executor, chunk_size
+        )
 
     chain = Blockchain()
     filters: List[BloomFilter] = []
@@ -238,7 +363,12 @@ def build_system(
     prev_hash = b"\x00" * HASH_SIZE
     for height, transactions in enumerate(bodies):
         block, indexes = _assemble_block(
-            config, height, prev_hash, list(transactions), forest
+            config,
+            height,
+            prev_hash,
+            list(transactions),
+            forest,
+            indexes=precomputed[height] if precomputed is not None else None,
         )
         chain.append(block)
         prev_hash = block.header.block_id()
@@ -248,5 +378,32 @@ def build_system(
         address_index.add_block(height, block.transactions)
 
     return BuiltSystem(
-        config, chain, filters, smts, merkle_trees, forest, address_index
+        config,
+        chain,
+        filters,
+        smts,
+        merkle_trees,
+        forest,
+        address_index,
+        caches=caches,
+    )
+
+
+def build_system_parallel(
+    bodies: Sequence[Sequence[Transaction]],
+    config: SystemConfig,
+    *,
+    workers: Optional[int] = None,
+    executor: str = "thread",
+    chunk_size: Optional[int] = None,
+) -> BuiltSystem:
+    """:func:`build_system` with the pool on by default (all cores)."""
+    if workers is None:
+        workers = max(2, os.cpu_count() or 2)
+    return build_system(
+        bodies,
+        config,
+        workers=workers,
+        executor=executor,
+        chunk_size=chunk_size,
     )

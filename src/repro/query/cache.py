@@ -1,0 +1,392 @@
+"""Bounded, concurrency-safe query caches and the locking primitives.
+
+PR 1 memoized block resolutions and segment multiproofs in plain dicts on
+:class:`~repro.query.builder.BuiltSystem`.  Under sustained traffic those
+dicts grow without limit, and under concurrent traffic they race.  This
+module supplies the serving-grade replacements:
+
+* :class:`LRUCache` — a size-bounded, thread-safe LRU with hit / miss /
+  eviction counters.  It exposes the same ``get`` / ``__setitem__``
+  surface the prover already uses, so the fast path did not change.
+* :class:`RWLock` — a write-preferring readers/writer lock with
+  *reentrant* readers.  Queries (readers) run concurrently against an
+  immutable chain prefix; ``append_block`` (the writer) gets exclusive
+  access, so a proof is never assembled over a half-appended block.
+* :class:`SingleFlight` — request coalescing: N concurrent calls with
+  the same key perform the keyed work exactly once and share the result.
+* :class:`ResponseCache` — serialized response bytes behind an LRU plus
+  a single-flight front, keyed ``(address, range, tip)``.  Hot addresses
+  are proven and serialized once per tip and then served as a memcpy.
+* :class:`QueryCaches` — the per-system bundle (resolutions, segments)
+  wired into :class:`~repro.query.builder.BuiltSystem`.
+
+Invalidation rules (DESIGN.md §8): block resolutions and segment
+multiproofs are **append-stable** — a block is immutable once appended
+and a merged BMT span never changes — so those entries survive chain
+growth and are only ever evicted by the LRU bound.  Response bytes embed
+the answering tip, so every ``append_block`` drops them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Hashable, Iterator, Optional
+
+
+class CacheStats:
+    """Cumulative counters of one cache (counters survive ``clear``)."""
+
+    __slots__ = ("hits", "misses", "evictions", "size", "max_entries")
+
+    def __init__(
+        self,
+        hits: int,
+        misses: int,
+        evictions: int,
+        size: int,
+        max_entries: int,
+    ) -> None:
+        self.hits = hits
+        self.misses = misses
+        self.evictions = evictions
+        self.size = size
+        self.max_entries = max_entries
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "max_entries": self.max_entries,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, size={self.size}/{self.max_entries})"
+        )
+
+
+class LRUCache:
+    """A thread-safe, size-bounded LRU mapping.
+
+    Deliberately exposes only the dict surface the query path uses
+    (``get``, item assignment, ``in``, ``len``, ``clear``) so it can
+    drop in for the PR-1 memo dicts.  ``None`` is not a cacheable value:
+    ``get`` returning ``None`` always means "absent", which is exactly
+    how the prover's memo lookups are written.
+    """
+
+    __slots__ = ("_lock", "_entries", "_max_entries", "_hits", "_misses",
+                 "_evictions")
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError(f"LRU bound must be >= 1, got {max_entries}")
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._max_entries = max_entries
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        if value is None:
+            raise ValueError("LRUCache cannot store None (means 'absent')")
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> "list[Hashable]":
+        """Snapshot of the keys, oldest first (for tests/introspection)."""
+        with self._lock:
+            return list(self._entries.keys())
+
+    def clear(self) -> None:
+        """Drop every entry; cumulative counters are preserved."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                self._hits,
+                self._misses,
+                self._evictions,
+                len(self._entries),
+                self._max_entries,
+            )
+
+
+class RWLock:
+    """Write-preferring readers/writer lock with reentrant readers.
+
+    * Any number of threads may hold the read side at once.
+    * The write side is exclusive (and reentrant for its owner).
+    * A thread already holding the read side may re-acquire it without
+      blocking even while a writer waits — required because the query
+      path nests (``answer_batch_query`` → ``answer_query``) and a
+      writer arriving between the two acquisitions must not deadlock us.
+    * New readers queue behind a waiting writer, so a steady stream of
+      queries cannot starve ``append_block``.
+    * Upgrading (write while holding read) is a programming error and
+      raises ``RuntimeError`` instead of deadlocking.
+    """
+
+    __slots__ = ("_cond", "_readers", "_writer", "_writer_depth",
+                 "_writers_waiting", "_local")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: "threading.Thread | None" = None
+        self._writer_depth = 0
+        self._writers_waiting = 0
+        self._local = threading.local()
+
+    # -- read side -----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.current_thread()
+        depth = getattr(self._local, "read_depth", 0)
+        if depth == 0:
+            with self._cond:
+                if self._writer is me:
+                    # The writer reading its own writes: don't count it as
+                    # a reader or release_write would wait on ourselves.
+                    self._local.counted = False
+                else:
+                    while self._writer is not None or self._writers_waiting:
+                        self._cond.wait()
+                    self._readers += 1
+                    self._local.counted = True
+        self._local.read_depth = depth + 1
+
+    def release_read(self) -> None:
+        depth = getattr(self._local, "read_depth", 0)
+        if depth <= 0:
+            raise RuntimeError("release_read without acquire_read")
+        self._local.read_depth = depth - 1
+        if depth == 1 and getattr(self._local, "counted", False):
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- write side ----------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.current_thread()
+        with self._cond:
+            if self._writer is me:
+                self._writer_depth += 1
+                return
+            if getattr(self._local, "read_depth", 0) > 0:
+                raise RuntimeError(
+                    "cannot upgrade a read lock to a write lock"
+                )
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers > 0:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if self._writer is not threading.current_thread():
+                raise RuntimeError("release_write by a non-owner thread")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class _Flight:
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: "BaseException | None" = None
+
+
+class SingleFlight:
+    """Per-key request coalescing.
+
+    ``do(key, fn)`` runs ``fn`` exactly once per key among concurrent
+    callers: the first caller (the *leader*) computes, everyone else (the
+    *followers*) blocks on the leader's result.  A leader's exception
+    propagates to every follower of that flight.  Once a flight lands the
+    key is retired, so a later call computes afresh (caching is the
+    caller's job — see :class:`ResponseCache`).
+    """
+
+    __slots__ = ("_lock", "_flights", "flights", "coalesced")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: "Dict[Hashable, _Flight]" = {}
+        #: Number of leader computations performed.
+        self.flights = 0
+        #: Number of callers served by somebody else's computation.
+        self.coalesced = 0
+
+    def do(self, key: Hashable, fn: Callable[[], Any]) -> Any:
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+                self.flights += 1
+            else:
+                leader = False
+                self.coalesced += 1
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value
+        try:
+            flight.value = fn()
+            return flight.value
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.event.set()
+
+
+class ResponseCache:
+    """Serialized response bytes behind an LRU and a single-flight front.
+
+    Keys are ``(address, first_height, requested_last, tip)``; the tip
+    component makes an entry self-invalidating, and ``invalidate_all``
+    (called on every ``append_block``) reclaims the memory eagerly.
+    """
+
+    # __weakref__ so FullNode can register weak append listeners.
+    __slots__ = ("_lru", "_flight", "__weakref__")
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        self._lru = LRUCache(max_entries)
+        self._flight = SingleFlight()
+
+    def get_or_build(self, key: Hashable, build: Callable[[], bytes]) -> bytes:
+        value = self._lru.get(key)
+        if value is not None:
+            return value
+
+        def miss() -> bytes:
+            built = build()
+            self._lru[key] = built
+            return built
+
+        return self._flight.do(key, miss)
+
+    def invalidate_all(self) -> None:
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def stats(self) -> "dict[str, object]":
+        report = self._lru.stats().as_dict()
+        report["flights"] = self._flight.flights
+        report["coalesced"] = self._flight.coalesced
+        return report
+
+
+#: Default bounds: sized for the benchmark chains (1024 blocks x a few
+#: hot addresses) while keeping worst-case memory far below the chain
+#: itself.  Callers with other traffic shapes pass their own QueryCaches.
+DEFAULT_MAX_RESOLUTIONS = 65_536
+DEFAULT_MAX_SEGMENTS = 16_384
+
+
+class QueryCaches:
+    """The per-system cache bundle carried by ``BuiltSystem``.
+
+    ``resolutions`` and ``segments`` subsume PR 1's unbounded memo dicts;
+    both hold append-stable values, so chain growth never invalidates
+    them.  Response-byte caches live on each :class:`FullNode` (two nodes
+    wrapping one system may answer differently, e.g. the adversarial
+    test doubles) and register themselves via the system's append
+    listeners for tip invalidation.
+    """
+
+    __slots__ = ("resolutions", "segments")
+
+    def __init__(
+        self,
+        max_resolutions: int = DEFAULT_MAX_RESOLUTIONS,
+        max_segments: int = DEFAULT_MAX_SEGMENTS,
+    ) -> None:
+        self.resolutions = LRUCache(max_resolutions)
+        self.segments = LRUCache(max_segments)
+
+    def clear(self) -> None:
+        self.resolutions.clear()
+        self.segments.clear()
+
+    def stats(self) -> "dict[str, dict]":
+        return {
+            "resolutions": self.resolutions.stats().as_dict(),
+            "segments": self.segments.stats().as_dict(),
+        }

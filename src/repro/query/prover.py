@@ -65,19 +65,27 @@ def answer_query(
     (defaults: the whole chain) — the range-query extension.  On BMT
     systems, segments partially overlapping the range ship restricted
     multiproofs whose out-of-range subtrees are ``(hash, bf)`` stubs.
+
+    The whole answer is produced under the system's read lock, so the
+    tip observed here cannot advance mid-proof: concurrent queries run
+    in parallel, but ``append_block`` waits until every in-flight
+    answer is complete (and vice versa).
     """
-    if system.tip_height < 1:
-        raise QueryError("chain has no queryable blocks (only genesis)")
-    if last_height is None:
-        last_height = system.tip_height
-    if not 1 <= first_height <= last_height <= system.tip_height:
-        raise QueryError(
-            f"bad query range [{first_height},{last_height}] for tip "
-            f"{system.tip_height}"
-        )
-    if system.config.uses_bmt:
-        return _answer_with_segments(system, address, first_height, last_height)
-    return _answer_per_block(system, address, first_height, last_height)
+    with system.lock.read():
+        if system.tip_height < 1:
+            raise QueryError("chain has no queryable blocks (only genesis)")
+        if last_height is None:
+            last_height = system.tip_height
+        if not 1 <= first_height <= last_height <= system.tip_height:
+            raise QueryError(
+                f"bad query range [{first_height},{last_height}] for tip "
+                f"{system.tip_height}"
+            )
+        if system.config.uses_bmt:
+            return _answer_with_segments(
+                system, address, first_height, last_height
+            )
+        return _answer_per_block(system, address, first_height, last_height)
 
 
 # ---------------------------------------------------------------------------

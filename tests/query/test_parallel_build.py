@@ -1,0 +1,143 @@
+"""Parallel ``build_system`` must be byte-identical to the sequential one.
+
+The build splits into order-independent per-block indexing (pooled) and
+a sequential ``prev_hash``/forest stitch; these tests pin the contract
+that no output byte may depend on how phase 1 was scheduled — across
+every system kind, both executors, degenerate chunkings, and chains
+later grown block-by-block.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.builder import (
+    BuiltSystem,
+    build_system,
+    build_system_parallel,
+)
+from repro.query.config import SystemConfig, SystemKind
+from repro.query.prover import answer_query
+from repro.workload.generator import WorkloadParams, generate_workload
+
+NUM_BLOCKS = 12
+SEGMENT_LEN = 4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        WorkloadParams(num_blocks=NUM_BLOCKS, txs_per_block=6, seed=77)
+    )
+
+
+def _config_for(kind: SystemKind) -> SystemConfig:
+    if kind is SystemKind.STRAWMAN:
+        return SystemConfig.strawman(bf_bytes=96)
+    if kind is SystemKind.STRAWMAN_HEADER_BF:
+        return SystemConfig.strawman_header_bf(bf_bytes=96)
+    if kind is SystemKind.LVQ_NO_BMT:
+        return SystemConfig.lvq_no_bmt(bf_bytes=96)
+    if kind is SystemKind.LVQ_NO_SMT:
+        return SystemConfig.lvq_no_smt(bf_bytes=192, segment_len=SEGMENT_LEN)
+    return SystemConfig.lvq(bf_bytes=192, segment_len=SEGMENT_LEN)
+
+
+def assert_systems_identical(
+    sequential: BuiltSystem, parallel: BuiltSystem, workload
+) -> None:
+    """Every committed byte and every served answer must match."""
+    seq_headers = sequential.headers()
+    par_headers = parallel.headers()
+    assert len(seq_headers) == len(par_headers)
+    for height, (seq_header, par_header) in enumerate(
+        zip(seq_headers, par_headers)
+    ):
+        assert seq_header.serialize() == par_header.serialize(), (
+            f"header mismatch at height {height}"
+        )
+    for height, (seq_bf, par_bf) in enumerate(
+        zip(sequential.filters, parallel.filters)
+    ):
+        assert seq_bf.to_bytes() == par_bf.to_bytes(), (
+            f"filter mismatch at height {height}"
+        )
+    for height, (seq_smt, par_smt) in enumerate(
+        zip(sequential.smts, parallel.smts)
+    ):
+        assert (seq_smt is None) == (par_smt is None)
+        if seq_smt is not None:
+            assert seq_smt.root == par_smt.root, (
+                f"SMT root mismatch at height {height}"
+            )
+    config = sequential.config
+    for address in workload.probe_addresses.values():
+        seq_answer = answer_query(sequential, address).serialize(config)
+        par_answer = answer_query(parallel, address).serialize(config)
+        assert seq_answer == par_answer, f"answer mismatch for {address}"
+
+
+@pytest.mark.parametrize("kind", list(SystemKind), ids=lambda k: k.value)
+def test_thread_pool_build_is_byte_identical(kind, workload):
+    config = _config_for(kind)
+    sequential = build_system(workload.bodies, config)
+    parallel = build_system(workload.bodies, config, workers=3)
+    assert_systems_identical(sequential, parallel, workload)
+
+
+def test_process_pool_build_is_byte_identical(workload):
+    config = _config_for(SystemKind.LVQ)
+    sequential = build_system(workload.bodies, config)
+    parallel = build_system(
+        workload.bodies, config, workers=2, executor="process"
+    )
+    assert_systems_identical(sequential, parallel, workload)
+
+
+@pytest.mark.parametrize("chunk_size", [1, 5, NUM_BLOCKS + 10])
+def test_degenerate_chunkings(chunk_size, workload):
+    config = _config_for(SystemKind.LVQ)
+    sequential = build_system(workload.bodies, config)
+    parallel = build_system(
+        workload.bodies, config, workers=4, chunk_size=chunk_size
+    )
+    assert_systems_identical(sequential, parallel, workload)
+
+
+def test_more_workers_than_blocks(workload):
+    config = _config_for(SystemKind.LVQ_NO_SMT)
+    sequential = build_system(workload.bodies, config)
+    parallel = build_system(workload.bodies, config, workers=32)
+    assert_systems_identical(sequential, parallel, workload)
+
+
+def test_workers_one_means_sequential(workload):
+    config = _config_for(SystemKind.LVQ)
+    baseline = build_system(workload.bodies, config)
+    explicit = build_system(workload.bodies, config, workers=1)
+    assert_systems_identical(baseline, explicit, workload)
+
+
+def test_build_system_parallel_defaults(workload):
+    config = _config_for(SystemKind.LVQ)
+    sequential = build_system(workload.bodies, config)
+    parallel = build_system_parallel(workload.bodies, config)
+    assert_systems_identical(sequential, parallel, workload)
+
+
+def test_unknown_executor_rejected(workload):
+    from repro.errors import QueryError
+
+    config = _config_for(SystemKind.LVQ)
+    with pytest.raises(QueryError):
+        build_system(workload.bodies, config, workers=2, executor="fiber")
+
+
+def test_append_after_parallel_build_matches_full_sequential(workload):
+    """A parallel prefix grown block-by-block equals one sequential build."""
+    config = _config_for(SystemKind.LVQ)
+    grown = build_system(workload.bodies[:9], config, workers=3)
+    for body in workload.bodies[9:]:
+        grown.append_block(body)
+    full = build_system(workload.bodies, config)
+    assert_systems_identical(full, grown, workload)
