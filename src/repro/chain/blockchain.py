@@ -15,7 +15,13 @@ from repro.errors import ChainError
 
 
 class Blockchain:
-    """An append-only list of blocks with prev-hash linkage checks."""
+    """An ordered list of blocks with prev-hash linkage checks.
+
+    Growth is via :meth:`append`; the only other mutation is
+    :meth:`truncate`, which pops the suffix above a height — the chain
+    half of a reorg.  Blocks at or below the truncation height are never
+    altered, so every height that survives keeps its exact bytes.
+    """
 
     def __init__(self, blocks: Sequence[Block] = ()) -> None:
         self._blocks: List[Block] = []
@@ -43,6 +49,18 @@ class Blockchain:
                 "its transactions"
             )
         self._blocks.append(block)
+
+    def truncate(self, height: int) -> List[Block]:
+        """Drop every block above ``height``; returns the removed suffix
+        (ascending).  The genesis block can never be removed."""
+        if not 0 <= height < len(self._blocks):
+            raise ChainError(
+                f"cannot truncate to height {height} on a chain of "
+                f"{len(self._blocks)} blocks"
+            )
+        removed = self._blocks[height + 1 :]
+        del self._blocks[height + 1 :]
+        return removed
 
     # -- access --------------------------------------------------------------
 

@@ -8,6 +8,9 @@ chain (sizes/seeds configurable):
 * ``storage``  — Challenge-1 light-node storage comparison;
 * ``attack``   — run the §VI adversary suite and show every rejection;
 * ``segments`` — print merge sets / segment division (Tables I & II).
+
+Plus one operational tool: ``verify-store <dir>`` fscks a durable chain
+store (exit 0 clean / 1 corrupt, reporting the first bad record offset).
 """
 
 from __future__ import annotations
@@ -236,6 +239,27 @@ def cmd_wallet(args) -> int:
     return 0
 
 
+def cmd_verify_store(args) -> int:
+    """Offline fsck of a durable (format-2) chain store directory."""
+    from repro.storage.durable import verify_store
+
+    report = verify_store(args.directory, deep=args.deep)
+    status = "clean" if report.ok else "CORRUPT"
+    print(f"{report.directory}: {status}")
+    print(f"  blocks          : {report.blocks}")
+    print(f"  tip             : {report.tip_id or '-'}")
+    print(f"  log bytes       : {report.log_bytes:,}")
+    print(f"  committed bytes : {report.committed_bytes:,}")
+    print(f"  records         : {report.records}")
+    if report.torn_bytes:
+        print(f"  torn tail       : {report.torn_bytes:,} bytes (recoverable)")
+    if report.first_bad_offset is not None:
+        print(f"  first bad record: offset {report.first_bad_offset}")
+    if report.detail:
+        print(f"  detail          : {report.detail}")
+    return 0 if report.ok else 1
+
+
 def cmd_segments(args) -> int:
     print("Table I — merge sets (M = 4096):")
     print(
@@ -299,6 +323,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     wallet.add_argument("--save", help="directory to persist the wallet to")
     wallet.set_defaults(func=cmd_wallet)
+
+    verify = sub.add_parser(
+        "verify-store",
+        help="fsck a durable chain store (exit 0 clean, 1 corrupt)",
+    )
+    verify.add_argument("directory", help="chain store directory to check")
+    verify.add_argument(
+        "--deep",
+        action="store_true",
+        help="also rebuild indexes and cross-check every stored header",
+    )
+    verify.set_defaults(func=cmd_verify_store)
 
     segments = sub.add_parser("segments", help="Tables I & II calculators")
     segments.add_argument("--tip", type=int, default=464)

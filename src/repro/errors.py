@@ -47,6 +47,16 @@ class CompletenessError(VerificationError):
     """Query result omits on-chain data (a non-membership check failed)."""
 
 
+class StaleChainError(VerificationError):
+    """A peer offered a divergent chain that is not longer than ours.
+
+    Raised by reorg-aware header sync when the peer's fork carries no
+    more work (height is the work proxy here).  Unlike its parent, this
+    is *not* evidence of malice — the peer may simply be lagging — so
+    resilient sessions treat it as benign rather than banning the peer.
+    """
+
+
 class QueryError(ReproError):
     """The full node could not serve a query (unknown system, bad range)."""
 

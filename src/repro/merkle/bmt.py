@@ -781,6 +781,25 @@ class BmtForest:
     def block_filter(self, height: int) -> BloomFilter:
         return self._bfs[height]
 
+    @property
+    def max_height(self) -> int:
+        """Highest registered block height (``-1`` when empty)."""
+        return max(self._bfs) if self._bfs else -1
+
+    def rollback_to(self, height: int) -> None:
+        """Forget every filter above ``height`` and every memoized node
+        whose span reaches above it.
+
+        Nodes covering only heights ``<= height`` are untouched, so a
+        later re-append over the same prefix rebuilds exactly the merge
+        sets that changed — the BMT half of a reorg is O(affected spans),
+        not O(chain).
+        """
+        for stale in [h for h in self._bfs if h > height]:
+            del self._bfs[stale]
+        for key in [key for key in self._nodes if key[1] > height]:
+            del self._nodes[key]
+
     def node(self, start: int, end: int) -> BmtNode:
         """The BMT node covering heights ``[start, end]`` (dyadic range)."""
         key = (start, end)

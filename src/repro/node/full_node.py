@@ -59,7 +59,16 @@ class FullNode:
             if cache is not None:
                 cache.invalidate_all()
 
+        def _drop_stale_on_reorg(fork_height: int, ref=cache_ref):
+            # Response keys carry the tip height, and an equal-length
+            # fork reuses old tip heights for different chains — so a
+            # reorg must drop everything, not just keys above the fork.
+            cache = ref()
+            if cache is not None:
+                cache.invalidate_all()
+
         system.add_append_listener(_drop_stale)
+        system.add_reorg_listener(_drop_stale_on_reorg)
 
     @property
     def tip_height(self) -> int:
@@ -158,3 +167,17 @@ class FullNode:
         """Append new blocks (each a transaction list) to the chain."""
         for transactions in bodies:
             self.system.append_block(transactions)
+
+    def rollback_to(self, height: int) -> int:
+        """Pop every block above ``height``; returns how many were removed.
+
+        Delegates to :meth:`BuiltSystem.rollback_to`, which takes the
+        write lock (in-flight answers finish against the old tip first)
+        and fires the reorg listeners that drop this node's response
+        cache.
+        """
+        return self.system.rollback_to(height)
+
+    def reorg(self, fork_height: int, new_bodies) -> "tuple[int, int]":
+        """Switch to a fork atomically; returns ``(replaced, appended)``."""
+        return self.system.reorg(fork_height, new_bodies)

@@ -14,7 +14,12 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.chain.block import BlockHeader
 from repro.chain.blockchain import header_storage_bytes
-from repro.errors import NoHonestPeerError, ReproError, VerificationError
+from repro.errors import (
+    NoHonestPeerError,
+    ReproError,
+    StaleChainError,
+    VerificationError,
+)
 from repro.node.full_node import FullNode
 from repro.node.messages import QueryRequest, QueryResponse
 from repro.node.transport import InProcessTransport, TransportStats
@@ -178,8 +183,9 @@ class LightNode:
         no proof-of-work; see DESIGN.md).  The peer's chain must share
         our genesis and be internally linked, otherwise nothing changes
         and :class:`VerificationError` is raised.  A peer offering a
-        fork *shorter or equal* to ours is refused (no replacement
-        without more work).
+        fork *shorter or equal* to ours is refused with
+        :class:`StaleChainError` (a benign subclass — lagging, not
+        lying; no replacement without more work).
         """
         from repro.errors import QueryError
         from repro.node.messages import HeadersRequest, HeadersResponse
@@ -206,7 +212,7 @@ class LightNode:
         )
         remote = response.headers
         if len(remote) <= len(self.headers):
-            raise VerificationError(
+            raise StaleChainError(
                 "peer's divergent chain is not longer than ours; refusing "
                 "the reorg"
             )

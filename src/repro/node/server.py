@@ -102,6 +102,7 @@ class QueryServer:
         self._rejected = 0
         self._completed = 0
         self._failed = 0
+        self._reorgs = 0
         self._in_flight = 0
         self._peak_queue_depth = 0
         self._total_latency: "deque[float]" = deque(maxlen=latency_window)
@@ -168,6 +169,31 @@ class QueryServer:
         return self.submit_query(address, first_height, last_height).result(
             timeout
         )
+
+    # -- chain mutation ------------------------------------------------------
+
+    def reorg(self, fork_height: int, new_bodies) -> "tuple[int, int]":
+        """Switch the served chain to a fork; returns ``(replaced, appended)``.
+
+        The system's write lock serializes the switch against in-flight
+        answers: requests already running finish against the old tip
+        (and verify against it — the client re-syncs afterwards), while
+        requests dequeued after the switch see only the new fork.  All
+        height- and tip-keyed cache entries above the fork are dropped
+        before the lock is released.
+        """
+        result = self.node.reorg(fork_height, new_bodies)
+        with self._stats_lock:
+            self._reorgs += 1
+        return result
+
+    def rollback_to(self, height: int) -> int:
+        """Pop every served block above ``height`` (see :meth:`reorg`)."""
+        removed = self.node.rollback_to(height)
+        if removed:
+            with self._stats_lock:
+                self._reorgs += 1
+        return removed
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -261,6 +287,7 @@ class QueryServer:
                 "rejected": self._rejected,
                 "completed": self._completed,
                 "failed": self._failed,
+                "reorgs": self._reorgs,
                 "in_flight": self._in_flight,
                 "queue_depth": self._queue.qsize(),
                 "peak_queue_depth": self._peak_queue_depth,

@@ -22,7 +22,14 @@ verification machinery, entirely client-local (no wire change):
 * optional graceful degradation: :meth:`QuerySession.query_partial`
   bisects the requested range over the surviving peers and returns a
   :class:`PartialHistory` covering the verified sub-ranges with an
-  explicit ``uncovered_ranges`` report.
+  explicit ``uncovered_ranges`` report;
+* reorg awareness: :meth:`QuerySession.sync_with_reorg` follows the
+  longest fork across the peer set — a peer whose divergent chain is
+  *not* longer raises the benign :class:`StaleChainError` (lagging, not
+  lying → no ban) — and, with ``track_queries=True``, automatically
+  re-queries every previously answered request whose range the reorg
+  replaced, since those verified histories were proven against headers
+  that are no longer the canonical chain.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from repro.errors import (
     ReproError,
     RetryExhaustedError,
     SessionTimeoutError,
+    StaleChainError,
     TransportError,
     VerificationError,
 )
@@ -310,6 +318,40 @@ class PartialHistory:
             self.address, (tx for _height, tx in self.transactions)
         )
 
+    def apply_reorg(self, fork_height: int) -> "PartialHistory":
+        """Invalidate everything above ``fork_height`` after a reorg.
+
+        A verified sub-range proof is a statement about the headers it
+        was checked against; once the chain above ``fork_height`` has
+        been replaced, the suffix of that statement is void.  Coverage
+        is clipped to the surviving prefix, transactions proven only by
+        replaced blocks are dropped, and ``uncovered_ranges`` is
+        recomputed as the exact complement — so the replaced suffix
+        shows up as *uncovered*, ready for re-query, rather than as
+        silently stale data.  Mutates and returns ``self``.
+        """
+        clipped = [
+            (lo, min(hi, fork_height))
+            for lo, hi in self.covered_ranges
+            if lo <= fork_height
+        ]
+        self.covered_ranges = _merge_ranges(clipped)
+        self.transactions = [
+            (height, tx)
+            for height, tx in self.transactions
+            if height <= fork_height
+        ]
+        uncovered: List[Tuple[int, int]] = []
+        cursor = self.first_height
+        for lo, hi in self.covered_ranges:
+            if lo > cursor:
+                uncovered.append((cursor, lo - 1))
+            cursor = hi + 1
+        if cursor <= self.last_height:
+            uncovered.append((cursor, self.last_height))
+        self.uncovered_ranges = uncovered
+        return self
+
     def __repr__(self) -> str:
         return (
             f"PartialHistory({self.address[:12]}…, "
@@ -352,6 +394,7 @@ class QuerySession:
         session_timeout: Optional[float] = None,
         quarantine_base: float = 1.0,
         seed: int = 0,
+        track_queries: bool = False,
     ) -> None:
         if not peers:
             raise QueryError("a query session needs at least one peer")
@@ -369,6 +412,14 @@ class QuerySession:
         #: Label of the peer that served the last verified answer.
         self.last_winner: Optional[str] = None
         self._last_served: Optional[str] = None
+        #: When true, successful ``query()`` calls are remembered so
+        #: :meth:`sync_with_reorg` can re-run the ones a reorg stales.
+        self.track_queries = track_queries
+        # Insertion-ordered set of (address, first_height, last_height).
+        self._tracked: "Dict[Tuple[str, int, Optional[int]], None]" = {}
+        #: Report of the most recent reorg adopted by
+        #: :meth:`sync_with_reorg` (``None`` until one happens).
+        self.last_reorg: Optional[Dict[str, object]] = None
 
     @staticmethod
     def _coerce_peer(peer, index: int) -> Peer:
@@ -524,6 +575,8 @@ class QuerySession:
             raise
         self.stats.successes += 1
         self.last_winner = self._last_success_label()
+        if self.track_queries:
+            self._tracked[(address, first_height, last_height)] = None
         return history
 
     def query_partial(
@@ -638,6 +691,94 @@ class QuerySession:
             self.stats.attempts - attempts_before,
             reasons,
         )
+
+    def sync_with_reorg(self) -> Tuple[int, int]:
+        """Reorg-aware header sync across the peer set.
+
+        Sweeps the available peers (health order) and adopts the first
+        chain that extends or verifiably out-lengthens ours; returns
+        ``(replaced, appended)`` from the winning peer.  Failure
+        classification differs from plain queries in one deliberate way:
+        :class:`StaleChainError` — the peer's divergent fork is not
+        longer — is *benign* (an honest peer can simply be lagging), so
+        the peer is neither banned nor quarantined; any other
+        verification failure (broken linkage, foreign genesis) is malice
+        and bans the peer as usual.
+
+        When the adopted fork replaced headers and the session was built
+        with ``track_queries=True``, every remembered query whose range
+        overlaps the replaced suffix is re-run immediately — its old
+        answer was verified against headers that no longer exist.  The
+        fresh histories land in ``self.last_reorg["requeried"]``.
+        """
+        started_at = self.clock.now()
+        reasons: Dict[str, List[Exception]] = {}
+        attempts_before = self.stats.attempts
+        for round_index in range(self.retry.max_rounds):
+            if round_index > 0:
+                pause = self.retry.backoff_seconds(round_index, self._rng)
+                self.stats.backoff_seconds += pause
+                self.stats.retries += 1
+                self.clock.sleep(pause)
+            for peer in self._ranked_available():
+                self._check_session_deadline(started_at)
+                transport = peer.make_transport()
+                if self.request_timeout is not None and hasattr(
+                    transport, "arm_timeout"
+                ):
+                    transport.arm_timeout(self.request_timeout)
+                self.stats.attempts += 1
+                old_tip = self.light_node.tip_height
+                try:
+                    replaced, appended = self.light_node.sync_with_reorg(
+                        peer.node, transport
+                    )
+                except StaleChainError as error:
+                    # Lagging, not lying: no score penalty, try the next.
+                    peer.stats.attempts += 1
+                    reasons.setdefault(peer.label, []).append(error)
+                except VerificationError as error:
+                    peer.record_verification_failure(error)
+                    reasons.setdefault(peer.label, []).append(error)
+                except (TransportError, EncodingError, QueryError) as error:
+                    peer.record_transport_failure(
+                        error, self.clock.now(), self.quarantine_base
+                    )
+                    reasons.setdefault(peer.label, []).append(error)
+                else:
+                    peer.record_success()
+                    self._last_served = peer.label
+                    if replaced:
+                        self._after_reorg(
+                            old_tip - replaced, replaced, appended, old_tip
+                        )
+                    return replaced, appended
+                finally:
+                    peer.stats.transport.merge(transport.stats)
+        raise RetryExhaustedError(
+            "reorg-aware header sync",
+            self.stats.attempts - attempts_before,
+            reasons,
+        )
+
+    def _after_reorg(
+        self, fork_height: int, replaced: int, appended: int, old_tip: int
+    ) -> None:
+        """Record the switch and re-query everything it invalidated."""
+        requeried: Dict[str, VerifiedHistory] = {}
+        # Publish the report before re-querying: if a re-query fails and
+        # raises, the caller still sees that the reorg itself happened.
+        self.last_reorg = {
+            "fork_height": fork_height,
+            "replaced": replaced,
+            "appended": appended,
+            "requeried": requeried,
+        }
+        if self.track_queries:
+            for address, first, last in list(self._tracked):
+                effective_last = last if last is not None else old_tip
+                if effective_last > fork_height:
+                    requeried[address] = self.query(address, first, last)
 
     def _last_success_label(self) -> Optional[str]:
         return self._last_served

@@ -43,7 +43,7 @@ from repro.chain.blockchain import Blockchain
 from repro.chain.segments import merge_span
 from repro.chain.transaction import Transaction
 from repro.crypto.hashing import HASH_SIZE
-from repro.errors import QueryError
+from repro.errors import ChainError, QueryError
 from repro.merkle.bmt import BmtForest, BmtTree
 from repro.merkle.sorted_tree import SortedMerkleTree
 from repro.merkle.tree import MerkleTree
@@ -56,12 +56,13 @@ class BuiltSystem:
     """A chain plus the full-node-side indexes for one prototype system.
 
     Concurrency contract (DESIGN.md §8): readers (the query path) hold
-    ``lock.read()``; the only writer is :meth:`append_block`, which holds
+    ``lock.read()``; the writers are :meth:`append_block` and the reorg
+    pair :meth:`rollback_to` / :meth:`reorg`, all of which hold
     ``lock.write()``.  Everything a query touches — chain, filters,
-    SMTs, Merkle trees, forest, inverted index — is append-only and
-    immutable below the tip, so readers running concurrently with each
-    other are always safe; the lock only fences them against a
-    half-appended block.
+    SMTs, Merkle trees, forest, inverted index — is immutable below the
+    tip between writes, so readers running concurrently with each other
+    are always safe; the lock fences them against a half-appended block
+    or a half-switched fork.
     """
 
     __slots__ = (
@@ -75,6 +76,7 @@ class BuiltSystem:
         "caches",
         "lock",
         "_append_listeners",
+        "_reorg_listeners",
     )
 
     def __init__(
@@ -110,6 +112,9 @@ class BuiltSystem:
         #: Tip-change callbacks (e.g. per-node response caches); fired
         #: after each append, while the write lock is still held.
         self._append_listeners: "List[Callable[[], None]]" = []
+        #: Fork-switch callbacks, fired with the fork height after every
+        #: rollback, while the write lock is still held.
+        self._reorg_listeners: "List[Callable[[int], None]]" = []
 
     @property
     def resolution_cache(self):
@@ -142,6 +147,17 @@ class BuiltSystem:
         response-byte caches on :class:`~repro.node.full_node.FullNode`).
         """
         self._append_listeners.append(listener)
+
+    def add_reorg_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a callback fired with the fork height after every
+        rollback (and therefore at the start of every reorg).
+
+        Append listeners only understand chain *growth*; anything keyed
+        by tip height would silently alias across forks of equal length,
+        so serving-side caches must register here too and drop their
+        state when the chain shrinks.
+        """
+        self._reorg_listeners.append(listener)
 
     @property
     def tip_height(self) -> int:
@@ -180,6 +196,60 @@ class BuiltSystem:
                 self.address_index.add_block(height, block.transactions)
             for listener in self._append_listeners:
                 listener()
+
+    def rollback_to(self, height: int) -> int:
+        """Pop every block above ``height`` (a fork switch's first half).
+
+        Unwinds exactly the per-height state :meth:`append_block` adds —
+        chain suffix, filters, SMTs, Merkle trees, forest spans reaching
+        past the fork, inverted-index postings — and evicts the memo
+        entries :meth:`~repro.query.cache.QueryCaches.on_reorg` marks
+        stale, so the surviving state is byte-identical to a fresh
+        :func:`build_system` of the truncated chain.  Holds the write
+        lock throughout, then notifies reorg listeners (still under the
+        lock, so no query can observe a half-switched fork or a stale
+        cache entry).  Returns the number of blocks removed.
+        """
+        with self.lock.write():
+            if not 0 <= height <= self.tip_height:
+                raise ChainError(
+                    f"cannot roll back to height {height}; tip is "
+                    f"{self.tip_height}"
+                )
+            removed = self.tip_height - height
+            if removed == 0:
+                return 0
+            self.chain.truncate(height)
+            del self.filters[height + 1 :]
+            del self.smts[height + 1 :]
+            del self.merkle_trees[height + 1 :]
+            if self.forest is not None:
+                self.forest.rollback_to(height)
+            if self.address_index is not None:
+                self.address_index.rollback_to(height)
+            self.caches.on_reorg(height)
+            for listener in self._reorg_listeners:
+                listener(height)
+            return removed
+
+    def reorg(
+        self,
+        fork_height: int,
+        new_bodies: Sequence[Sequence[Transaction]],
+    ) -> "tuple[int, int]":
+        """Switch to a fork: pop blocks above ``fork_height``, then append
+        ``new_bodies`` in order.
+
+        One write-lock hold covers the whole switch, so concurrent
+        queries see either the old fork or the new one — never a mix —
+        and in-flight answers finish against the tip they started under.
+        Returns ``(replaced, appended)``.
+        """
+        with self.lock.write():
+            replaced = self.rollback_to(fork_height)
+            for transactions in new_bodies:
+                self.append_block(transactions)
+            return replaced, len(new_bodies)
 
 
 def _extension_for(

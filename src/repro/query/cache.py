@@ -24,7 +24,11 @@ Invalidation rules (DESIGN.md §8): block resolutions and segment
 multiproofs are **append-stable** — a block is immutable once appended
 and a merged BMT span never changes — so those entries survive chain
 growth and are only ever evicted by the LRU bound.  Response bytes embed
-the answering tip, so every ``append_block`` drops them.
+the answering tip, so every ``append_block`` drops them.  A *reorg*
+(DESIGN.md §9) is the one event that invalidates append-stable entries:
+:meth:`QueryCaches.on_reorg` evicts exactly the keys whose heights reach
+above the fork, and the system's reorg listeners drop every per-node
+response cache (a tip-height key would alias across equal-length forks).
 """
 
 from __future__ import annotations
@@ -141,6 +145,20 @@ class LRUCache:
         """Drop every entry; cumulative counters are preserved."""
         with self._lock:
             self._entries.clear()
+
+    def evict_if(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose *key* satisfies ``predicate``.
+
+        The selective-invalidation hook reorgs need: entries keyed below
+        the fork height survive, everything above it goes.  Returns the
+        number of entries evicted (also added to the eviction counter).
+        """
+        with self._lock:
+            stale = [key for key in self._entries if predicate(key)]
+            for key in stale:
+                del self._entries[key]
+            self._evictions += len(stale)
+            return len(stale)
 
     def stats(self) -> CacheStats:
         with self._lock:
@@ -384,6 +402,31 @@ class QueryCaches:
     def clear(self) -> None:
         self.resolutions.clear()
         self.segments.clear()
+
+    def on_reorg(self, fork_height: int) -> "dict[str, int]":
+        """Selective invalidation after a rollback to ``fork_height``.
+
+        Blocks at or below the fork are byte-identical on both branches,
+        so their memos stay valid; everything above must go:
+
+        * resolutions are keyed ``(address, height)`` — evict
+          ``height > fork``;
+        * segment multiproofs are keyed ``(address, anchor, start, end,
+          clipped)`` — a tree whose span reaches past the fork covers
+          replaced blocks, so evict ``end > fork``.
+
+        Response-byte caches are *not* handled here: they live per node
+        and are dropped wholesale through the system's reorg listeners
+        (their tip-height key would alias across forks of equal length).
+        """
+        return {
+            "resolutions": self.resolutions.evict_if(
+                lambda key: key[1] > fork_height
+            ),
+            "segments": self.segments.evict_if(
+                lambda key: key[3] > fork_height
+            ),
+        }
 
     def stats(self) -> "dict[str, dict]":
         return {

@@ -38,12 +38,20 @@ from repro.errors import ChainError
 class AddressIndex:
     """Incremental ``address → [(height, tx_index), ...]`` postings."""
 
-    __slots__ = ("_postings", "_num_postings", "_next_height")
+    __slots__ = (
+        "_postings",
+        "_num_postings",
+        "_next_height",
+        "_height_addresses",
+    )
 
     def __init__(self) -> None:
         self._postings: Dict[str, List[Tuple[int, int]]] = {}
         self._num_postings = 0
         self._next_height = 0
+        #: Per-height list of distinct addresses touched — the reverse
+        #: map that makes :meth:`rollback_to` O(postings removed).
+        self._height_addresses: List[List[str]] = []
 
     # -- construction ------------------------------------------------------
 
@@ -57,6 +65,7 @@ class AddressIndex:
             )
         self._next_height = height + 1
         postings = self._postings
+        touched: List[str] = []
         for tx_index, transaction in enumerate(transactions):
             # ``addresses()`` is already deduplicated per transaction, so
             # one transaction contributes at most one posting per address
@@ -65,9 +74,37 @@ class AddressIndex:
                 bucket = postings.get(address)
                 if bucket is None:
                     postings[address] = [(height, tx_index)]
+                    touched.append(address)
                 else:
+                    if bucket[-1][0] != height:
+                        touched.append(address)
                     bucket.append((height, tx_index))
                 self._num_postings += 1
+        self._height_addresses.append(touched)
+
+    def rollback_to(self, height: int) -> None:
+        """Drop every posting above ``height`` (the reorg path).
+
+        Postings are appended in height order, so the stale entries of a
+        bucket are exactly its tail; the per-height touch lists point
+        straight at the affected buckets, making the whole rollback
+        proportional to the postings removed, not the index size.
+        """
+        if not -1 <= height <= self.indexed_height:
+            raise ChainError(
+                f"cannot roll index back to height {height}; indexed tip "
+                f"is {self.indexed_height}"
+            )
+        for stale_height in range(self.indexed_height, height, -1):
+            for address in self._height_addresses[stale_height]:
+                bucket = self._postings[address]
+                while bucket and bucket[-1][0] == stale_height:
+                    bucket.pop()
+                    self._num_postings -= 1
+                if not bucket:
+                    del self._postings[address]
+        del self._height_addresses[height + 1 :]
+        self._next_height = height + 1
 
     # -- inspection --------------------------------------------------------
 

@@ -20,6 +20,7 @@ Light nodes persist just the header file via :func:`save_headers` /
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from typing import List, Union
 
@@ -56,8 +57,16 @@ def save_system(system: BuiltSystem, directory: PathLike) -> None:
         .block_id()
         .hex(),
     }
-    # The manifest is written last: its presence marks a complete store.
-    (path / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    # The manifest is written last — its presence marks a complete store —
+    # and atomically: a crash mid-write must leave either the old manifest
+    # or the new one, never a torn JSON prefix.
+    tmp_path = path / (_MANIFEST + ".tmp")
+    with open(tmp_path, "wb") as handle:
+        handle.write(json.dumps(manifest, indent=2).encode("ascii"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path / _MANIFEST)
+    _fsync_dir(path)
 
 
 def load_system(directory: PathLike) -> BuiltSystem:
@@ -73,6 +82,11 @@ def load_system(directory: PathLike) -> BuiltSystem:
         raise ChainError(f"no chain manifest in {path}") from exc
     except json.JSONDecodeError as exc:
         raise ChainError(f"corrupt chain manifest in {path}: {exc}") from exc
+    if isinstance(manifest, dict) and manifest.get("format") == 2:
+        # A durable (append-only log) store — recover it transparently.
+        from repro.storage.durable import DurableStore
+
+        return DurableStore.open(path).system
     if not isinstance(manifest, dict) or manifest.get("format") != 1:
         raise ChainError(
             "unsupported or malformed chain store manifest"
@@ -141,6 +155,20 @@ def load_headers(
             )
         headers.append(header)
     return headers
+
+
+def _fsync_dir(path: pathlib.Path) -> None:
+    """Flush the directory entry after a rename (best-effort)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
 
 
 def _read_records(file_path: pathlib.Path) -> List[bytes]:

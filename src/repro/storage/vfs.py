@@ -1,0 +1,230 @@
+"""A minimal virtual filesystem with SQLite-style crash injection.
+
+The durable store routes every write-side operation — file writes,
+fsyncs, atomic renames, directory syncs — through a :class:`Vfs` object
+instead of calling :mod:`os` directly.  Production code uses the plain
+:class:`Vfs`; the kill-point recovery harness swaps in
+
+* :class:`CountingVfs` — counts *fault points* (one per written byte,
+  one per fsync/replace/dir-sync/truncate) without failing, to size the
+  crash matrix; and
+* :class:`CrashVfs` — dies at an exact fault point: the write in
+  progress lands **partially** (bytes up to the boundary reach the
+  file), :class:`CrashPoint` is raised, and every later operation also
+  raises, exactly as if the process had been SIGKILLed mid-syscall.
+
+Byte granularity matters: a crash budget that only fell between whole
+records could never produce the torn frames the recovery path must
+truncate, so the harness would not actually be testing recovery.
+
+:class:`CrashPoint` deliberately does *not* derive from
+:class:`~repro.errors.ReproError` — it simulates the process dying, and
+nothing in the library is allowed to catch and survive it.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import IO, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+class CrashPoint(Exception):
+    """The simulated kill signal injected by :class:`CrashVfs`.
+
+    Carries the fault-point index at which the process "died" so harness
+    reports can name the exact crash offset.
+    """
+
+    def __init__(self, fault_point: int) -> None:
+        super().__init__(f"simulated crash at fault point {fault_point}")
+        self.fault_point = fault_point
+
+
+class Vfs:
+    """Real OS operations — the production filesystem."""
+
+    def open(self, path: PathLike, mode: str) -> IO[bytes]:
+        return open(path, mode)
+
+    def fsync(self, handle: IO[bytes]) -> None:
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def truncate(self, handle: IO[bytes], size: int) -> None:
+        handle.truncate(size)
+
+    def replace(self, source: PathLike, destination: PathLike) -> None:
+        os.replace(source, destination)
+
+    def fsync_dir(self, path: PathLike) -> None:
+        """Flush a directory entry (best-effort where unsupported)."""
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-specific
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-specific
+            pass
+        finally:
+            os.close(fd)
+
+
+class _MeteredFile:
+    """File wrapper that charges writes to its VFS's fault counter."""
+
+    def __init__(self, vfs: "CountingVfs", handle: IO[bytes]) -> None:
+        self._vfs = vfs
+        self._handle = handle
+
+    def write(self, data: bytes) -> int:
+        allowed = self._vfs._consume_bytes(len(data))
+        if allowed:
+            self._handle.write(data[:allowed])
+        if allowed < len(data):
+            # The kill landed mid-write: make the partial bytes visible
+            # to the post-mortem (the OS would have them in page cache
+            # or on disk; either way recovery must cope), then die.
+            self._handle.flush()
+            self._vfs._die()
+        return len(data)
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        return self._handle.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._handle.tell()
+
+    def read(self, size: int = -1) -> bytes:
+        return self._handle.read(size)
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def __enter__(self) -> "_MeteredFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class CountingVfs(Vfs):
+    """Counts fault points without ever failing.
+
+    A dry run of a schedule under this VFS yields ``fault_points`` — the
+    size of the crash matrix :class:`CrashVfs` can then sweep.
+    """
+
+    def __init__(self) -> None:
+        self.fault_points = 0
+
+    # -- fault accounting --------------------------------------------------
+
+    def _consume_bytes(self, count: int) -> int:
+        """Charge ``count`` written bytes; returns how many may land."""
+        self.fault_points += count
+        return count
+
+    def _consume_op(self) -> None:
+        self.fault_points += 1
+
+    def _die(self) -> None:  # pragma: no cover - CountingVfs never dies
+        raise AssertionError("CountingVfs must not crash")
+
+    # -- metered operations ------------------------------------------------
+
+    def open(self, path: PathLike, mode: str) -> IO[bytes]:
+        handle = super().open(path, mode)
+        if "w" in mode or "a" in mode or "+" in mode:
+            return _MeteredFile(self, handle)  # type: ignore[return-value]
+        return handle
+
+    def fsync(self, handle: IO[bytes]) -> None:
+        self._consume_op()
+        super().fsync(handle)
+
+    def truncate(self, handle: IO[bytes], size: int) -> None:
+        self._consume_op()
+        super().truncate(handle, size)
+
+    def replace(self, source: PathLike, destination: PathLike) -> None:
+        self._consume_op()
+        super().replace(source, destination)
+
+    def fsync_dir(self, path: PathLike) -> None:
+        self._consume_op()
+        super().fsync_dir(path)
+
+
+class CrashVfs(CountingVfs):
+    """Dies at fault point ``crash_at`` (1-based) and stays dead.
+
+    The operation in progress is applied up to the boundary — a write
+    lands its first ``crash_at - consumed`` bytes, an fsync/replace is
+    skipped entirely — and :class:`CrashPoint` propagates.  Afterwards
+    every operation raises immediately: a dead process issues no I/O.
+    """
+
+    def __init__(self, crash_at: int) -> None:
+        super().__init__()
+        if crash_at < 1:
+            raise ValueError(f"crash point must be >= 1, got {crash_at}")
+        self.crash_at = crash_at
+        self.dead = False
+
+    def _check_alive(self) -> None:
+        if self.dead:
+            raise CrashPoint(self.crash_at)
+
+    def _consume_bytes(self, count: int) -> int:
+        self._check_alive()
+        budget = self.crash_at - self.fault_points
+        self.fault_points += min(count, budget)
+        return min(count, budget) if count >= budget else count
+
+    def _consume_op(self) -> None:
+        self._check_alive()
+        self.fault_points += 1
+        if self.fault_points >= self.crash_at:
+            self._die()
+
+    def _die(self) -> None:
+        self.dead = True
+        raise CrashPoint(self.crash_at)
+
+    def open(self, path: PathLike, mode: str) -> IO[bytes]:
+        self._check_alive()
+        return super().open(path, mode)
+
+    def fsync(self, handle: IO[bytes]) -> None:
+        self._check_alive()
+        self._consume_op()
+        Vfs.fsync(self, handle)
+
+    def truncate(self, handle: IO[bytes], size: int) -> None:
+        self._check_alive()
+        self._consume_op()
+        Vfs.truncate(self, handle, size)
+
+    def replace(self, source: PathLike, destination: PathLike) -> None:
+        self._check_alive()
+        self._consume_op()
+        Vfs.replace(self, source, destination)
+
+    def fsync_dir(self, path: PathLike) -> None:
+        self._check_alive()
+        self._consume_op()
+        Vfs.fsync_dir(self, path)

@@ -1,0 +1,204 @@
+"""Reorg-aware sync: light-node edge cases and session-level recovery."""
+
+import pytest
+
+from repro.errors import StaleChainError, VerificationError
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.node.session import PartialHistory, QuerySession
+from repro.query.builder import build_system
+from repro.query.config import SystemConfig
+from repro.workload.generator import WorkloadParams, generate_workload
+from repro.workload.profiles import ProbeProfile
+
+CONFIG = SystemConfig.lvq(bf_bytes=192, segment_len=8)
+
+
+@pytest.fixture(scope="module")
+def forked():
+    main = generate_workload(
+        WorkloadParams(
+            num_blocks=14,
+            txs_per_block=5,
+            seed=61,
+            probes=[ProbeProfile("P", 8, 5)],
+        )
+    )
+    alt = generate_workload(
+        WorkloadParams(
+            num_blocks=20,
+            txs_per_block=5,
+            seed=62,
+            probes=[ProbeProfile("P", 8, 5)],
+        )
+    )
+    return main, alt
+
+
+def _node(bodies):
+    return FullNode(build_system(bodies, CONFIG))
+
+
+class TestLightNodeEdgeCases:
+    def test_equal_length_fork_refused_as_stale(self, forked):
+        main, alt = forked
+        ours = _node(main.bodies)
+        light = LightNode.from_full_node(ours)
+        same_length = _node(main.bodies[:10] + alt.bodies[10:14])
+        before = list(light.headers)
+        with pytest.raises(StaleChainError):
+            light.sync_with_reorg(same_length)
+        assert light.headers == before
+
+    def test_stale_chain_error_is_verification_error(self):
+        # Existing callers catching VerificationError must keep working.
+        assert issubclass(StaleChainError, VerificationError)
+
+    def test_genesis_mismatch_refused(self, forked):
+        main, alt = forked
+        light = LightNode.from_full_node(_node(main.bodies))
+        # Same shape, but an extra transaction in genesis gives the
+        # foreign chain a different height-0 block id — and it is longer
+        # than ours, so only the genesis check can reject it.
+        foreign_bodies = [alt.bodies[0] + [alt.bodies[1][0]]] + alt.bodies[1:]
+        foreign = _node(foreign_bodies)
+        with pytest.raises(VerificationError, match="genesis"):
+            light.sync_with_reorg(foreign)
+
+    def test_reorg_to_genesis_depth(self, forked):
+        """A fork diverging at height 0 (every non-genesis block replaced)
+        is adopted when longer — there is no checkpoint floor."""
+        main, alt = forked
+        light = LightNode.from_full_node(_node(main.bodies))
+        old_tip = light.tip_height
+        deep_fork = _node(main.bodies[:1] + alt.bodies[1:20])
+        replaced, appended = light.sync_with_reorg(deep_fork)
+        assert replaced == old_tip
+        assert light.tip_height == deep_fork.tip_height
+
+    def test_longer_fork_adopted(self, forked):
+        main, alt = forked
+        light = LightNode.from_full_node(_node(main.bodies))
+        longer = _node(main.bodies[:10] + alt.bodies[10:20])
+        replaced, appended = light.sync_with_reorg(longer)
+        assert (replaced, appended) == (5, 10)
+        assert (
+            light.headers[-1].block_id()
+            == longer.system.chain.header_at(longer.tip_height).block_id()
+        )
+
+
+class TestSessionReorg:
+    def test_follows_longer_fork_and_requeries(self, forked):
+        main, alt = forked
+        node = _node(main.bodies)
+        light = LightNode.from_full_node(node)
+        session = QuerySession(light, [("n0", node)], track_queries=True)
+        address = main.probe_addresses["P"]
+        session.query(address)
+
+        node.reorg(9, alt.bodies[10:18])
+        replaced, appended = session.sync_with_reorg()
+        assert (replaced, appended) == (5, 8)
+        assert light.tip_height == node.tip_height
+        report = session.last_reorg
+        assert report["fork_height"] == 9
+        fresh = session.query(address)
+        requeried = report["requeried"][address]
+        assert [
+            (height, tx.txid()) for height, tx in requeried.transactions
+        ] == [(height, tx.txid()) for height, tx in fresh.transactions]
+
+    def test_query_outside_replaced_range_not_requeried(self, forked):
+        main, alt = forked
+        node = _node(main.bodies)
+        light = LightNode.from_full_node(node)
+        session = QuerySession(light, [("n0", node)], track_queries=True)
+        address = main.probe_addresses["P"]
+        session.query(address, first_height=1, last_height=5)
+
+        node.reorg(9, alt.bodies[10:18])
+        session.sync_with_reorg()
+        assert session.last_reorg["requeried"] == {}
+
+    def test_untracked_session_skips_requeries(self, forked):
+        main, alt = forked
+        node = _node(main.bodies)
+        light = LightNode.from_full_node(node)
+        session = QuerySession(light, [("n0", node)])
+        address = main.probe_addresses["P"]
+        session.query(address)
+        node.reorg(9, alt.bodies[10:18])
+        session.sync_with_reorg()
+        assert session.last_reorg["requeried"] == {}
+
+    def test_stale_peer_not_banned(self, forked):
+        main, alt = forked
+        ahead = _node(main.bodies[:10] + alt.bodies[10:20])
+        behind = _node(main.bodies[:10] + alt.bodies[10:13])
+        light = LightNode.from_full_node(_node(main.bodies))
+        session = QuerySession(
+            light, [("behind", behind), ("ahead", ahead)]
+        )
+        # Make the lagging peer rank first so it is actually attempted.
+        session.peers[1].score = 0.5
+        replaced, appended = session.sync_with_reorg()
+        assert light.tip_height == ahead.tip_height
+        assert not session.peers[0].banned
+        assert session.peers[0].stats.verification_failures == 0
+
+    def test_lying_peer_banned(self, forked):
+        main, alt = forked
+        node = _node(main.bodies)
+        light = LightNode.from_full_node(node)
+        # Foreign genesis = provable malice (see the edge-case test).
+        liar = _node([alt.bodies[0] + [alt.bodies[1][0]]] + alt.bodies[1:])
+        session = QuerySession(light, [("liar", liar), ("good", node)])
+        session.peers[1].score = 0.5
+        session.sync_with_reorg()
+        assert session.peers[0].banned
+
+    def test_plain_extension_still_works(self, forked):
+        main, _alt = forked
+        node = _node(main.bodies)
+        light = LightNode(
+            [h for h in node.system.headers()[:8]], CONFIG
+        )
+        session = QuerySession(light, [("n0", node)])
+        replaced, appended = session.sync_with_reorg()
+        assert (replaced, appended) == (0, 7)
+        assert session.last_reorg is None
+
+
+class TestPartialHistoryReorg:
+    def test_replaced_suffix_becomes_uncovered(self):
+        partial = PartialHistory(
+            "addr", 1, 13, [(3, None), (11, None)], [(1, 13)], []
+        )
+        partial.apply_reorg(9)
+        assert partial.covered_ranges == [(1, 9)]
+        assert partial.uncovered_ranges == [(10, 13)]
+        assert [height for height, _ in partial.transactions] == [3]
+        assert not partial.is_complete
+
+    def test_gap_and_suffix_both_reported(self):
+        partial = PartialHistory(
+            "addr", 1, 12, [], [(1, 3), (6, 12)], [(4, 5)]
+        )
+        partial.apply_reorg(8)
+        assert partial.covered_ranges == [(1, 3), (6, 8)]
+        assert partial.uncovered_ranges == [(4, 5), (9, 12)]
+
+    def test_reorg_below_everything_voids_coverage(self):
+        partial = PartialHistory("addr", 5, 9, [(6, None)], [(5, 9)], [])
+        partial.apply_reorg(2)
+        assert partial.covered_ranges == []
+        assert partial.uncovered_ranges == [(5, 9)]
+        assert partial.transactions == []
+
+    def test_reorg_above_range_is_noop(self):
+        partial = PartialHistory("addr", 1, 8, [(2, None)], [(1, 8)], [])
+        partial.apply_reorg(8)
+        assert partial.covered_ranges == [(1, 8)]
+        assert partial.uncovered_ranges == []
+        assert partial.is_complete

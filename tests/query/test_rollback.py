@@ -1,0 +1,248 @@
+"""Server-side rollback and reorg: byte-identity and cache hygiene.
+
+The contract under test: after any sequence of appends, rollbacks, and
+reorgs, a :class:`BuiltSystem` must be indistinguishable — headers and
+full verifiable answers, byte for byte — from a system freshly built
+over the equivalent body list.  Anything less means the incremental
+index maintenance (BMT forest, inverted index, SMT/filter lists, caches)
+leaks state across the fork point.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ChainError
+from repro.query.builder import build_system
+from repro.query.config import SystemConfig, SystemKind
+from repro.query.prover import answer_query
+from repro.query.verifier import verify_result
+from repro.workload.generator import WorkloadParams, generate_workload
+from repro.workload.profiles import ProbeProfile
+
+
+def _config_for(kind: SystemKind) -> SystemConfig:
+    if kind is SystemKind.STRAWMAN:
+        return SystemConfig.strawman(bf_bytes=96)
+    if kind is SystemKind.STRAWMAN_HEADER_BF:
+        return SystemConfig.strawman_header_bf(bf_bytes=96)
+    if kind is SystemKind.LVQ_NO_BMT:
+        return SystemConfig.lvq_no_bmt(bf_bytes=96)
+    if kind is SystemKind.LVQ_NO_SMT:
+        return SystemConfig.lvq_no_smt(bf_bytes=192, segment_len=4)
+    return SystemConfig.lvq(bf_bytes=192, segment_len=4)
+
+
+@pytest.fixture(scope="module")
+def forks():
+    main = generate_workload(
+        WorkloadParams(
+            num_blocks=14,
+            txs_per_block=5,
+            seed=31,
+            probes=[ProbeProfile("P", 8, 5)],
+        )
+    )
+    alt = generate_workload(
+        WorkloadParams(
+            num_blocks=18,
+            txs_per_block=5,
+            seed=32,
+            probes=[ProbeProfile("P", 8, 5)],
+        )
+    )
+    return main, alt
+
+
+def _assert_equivalent(system, bodies, config, probes):
+    fresh = build_system(bodies, config)
+    assert [h.serialize() for h in system.headers()] == [
+        h.serialize() for h in fresh.headers()
+    ]
+    for address in probes:
+        assert answer_query(system, address).serialize(config) == answer_query(
+            fresh, address
+        ).serialize(config)
+
+
+@pytest.mark.parametrize("kind", list(SystemKind), ids=lambda k: k.value)
+class TestByteIdentity:
+    def test_rollback_matches_fresh_build(self, forks, kind):
+        main, _alt = forks
+        config = _config_for(kind)
+        system = build_system(main.bodies, config)
+        removed = system.rollback_to(9)
+        assert removed == 5
+        _assert_equivalent(
+            system, main.bodies[:10], config, main.probe_addresses.values()
+        )
+
+    def test_reorg_matches_fresh_build(self, forks, kind):
+        main, alt = forks
+        config = _config_for(kind)
+        system = build_system(main.bodies, config)
+        replaced, appended = system.reorg(8, alt.bodies[9:14])
+        assert (replaced, appended) == (6, 5)
+        probes = set(main.probe_addresses.values()) | set(
+            alt.probe_addresses.values()
+        )
+        _assert_equivalent(
+            system, main.bodies[:9] + alt.bodies[9:14], config, probes
+        )
+
+    def test_rollback_then_regrow(self, forks, kind):
+        main, _alt = forks
+        config = _config_for(kind)
+        system = build_system(main.bodies, config)
+        system.rollback_to(6)
+        for body in main.bodies[7:]:
+            system.append_block(body)
+        _assert_equivalent(
+            system, main.bodies, config, main.probe_addresses.values()
+        )
+
+
+class TestRollbackSemantics:
+    def test_rollback_to_tip_is_noop(self, forks):
+        main, _alt = forks
+        config = _config_for(SystemKind.LVQ)
+        system = build_system(main.bodies, config)
+        assert system.rollback_to(system.tip_height) == 0
+        assert system.tip_height == len(main.bodies) - 1
+
+    def test_rollback_below_genesis_rejected(self, forks):
+        main, _alt = forks
+        system = build_system(main.bodies, _config_for(SystemKind.LVQ))
+        with pytest.raises(ChainError):
+            system.rollback_to(-1)
+
+    def test_rollback_above_tip_rejected(self, forks):
+        main, _alt = forks
+        system = build_system(main.bodies, _config_for(SystemKind.LVQ))
+        with pytest.raises(ChainError):
+            system.rollback_to(system.tip_height + 1)
+
+    def test_index_rollback_prunes_postings(self, forks):
+        main, _alt = forks
+        system = build_system(main.bodies, _config_for(SystemKind.LVQ))
+        index = system.address_index
+        before = index.num_postings
+        system.rollback_to(7)
+        assert index.indexed_height == 7
+        assert index.num_postings < before
+        fresh = build_system(
+            main.bodies[:8], _config_for(SystemKind.LVQ)
+        ).address_index
+        assert index.num_postings == fresh.num_postings
+        assert index.num_addresses == fresh.num_addresses
+        for address in fresh.addresses():
+            assert index.occurrences(address) == fresh.occurrences(address)
+
+    def test_forest_rollback_prunes_nodes(self, forks):
+        main, _alt = forks
+        config = _config_for(SystemKind.LVQ)
+        system = build_system(main.bodies, config)
+        system.rollback_to(9)
+        fresh = build_system(main.bodies[:10], config)
+        assert system.forest.max_height == fresh.forest.max_height
+
+    def test_reorg_listener_fires_with_fork_height(self, forks):
+        main, alt = forks
+        system = build_system(main.bodies, _config_for(SystemKind.LVQ))
+        seen = []
+        system.add_reorg_listener(seen.append)
+        system.rollback_to(10)
+        system.reorg(8, alt.bodies[9:12])
+        assert seen == [10, 8]
+
+
+class TestCacheInvalidation:
+    def test_caches_evict_above_fork(self, forks):
+        main, _alt = forks
+        config = _config_for(SystemKind.LVQ)
+        system = build_system(main.bodies, config)
+        address = main.probe_addresses["P"]
+        answer_query(system, address)  # warm resolution/segment caches
+        stale_res = [
+            key for key in system.caches.resolutions.keys() if key[1] > 9
+        ]
+        system.rollback_to(9)
+        for key in stale_res:
+            assert key not in system.caches.resolutions
+        for key in system.caches.resolutions.keys():
+            assert key[1] <= 9
+        for key in system.caches.segments.keys():
+            assert key[3] <= 9
+
+    def test_post_rollback_answers_verify(self, forks):
+        main, _alt = forks
+        config = _config_for(SystemKind.LVQ)
+        system = build_system(main.bodies, config)
+        address = main.probe_addresses["P"]
+        answer_query(system, address)
+        system.rollback_to(9)
+        result = answer_query(system, address)
+        history = verify_result(result, system.headers(), config, address)
+        truth = [
+            (height, tx.txid())
+            for height, transactions in enumerate(main.bodies[:10])
+            for tx in transactions
+            if tx.involves(address)
+        ]
+        assert [
+            (height, tx.txid()) for height, tx in history.transactions
+        ] == truth
+
+
+class TestConcurrentReorg:
+    def test_queries_never_see_torn_state(self, forks):
+        """Readers hammering the system during reorgs must always get an
+        answer that verifies against *some* consistent tip's headers."""
+        main, alt = forks
+        config = _config_for(SystemKind.LVQ)
+        system = build_system(main.bodies, config)
+        address = main.probe_addresses["P"]
+        chains = {}
+        with system.lock.read():
+            chains[system.tip_height] = [
+                h.serialize() for h in system.headers()
+            ]
+        failures = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    with system.lock.read():
+                        headers = [h.serialize() for h in system.headers()]
+                        result = answer_query(system, address)
+                    from repro.chain.block import BlockHeader
+                    from repro.crypto.encoding import ByteReader
+
+                    parsed = []
+                    for raw in headers:
+                        reader_ = ByteReader(raw)
+                        parsed.append(
+                            BlockHeader.deserialize(
+                                reader_,
+                                config.header_extension_kind,
+                                config.header_bloom_bytes,
+                            )
+                        )
+                    verify_result(result, parsed, config, address)
+                except Exception as exc:  # noqa: BLE001 - collect all
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(3):
+                system.reorg(8, alt.bodies[9:14])
+                system.reorg(8, main.bodies[9:])
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not failures, failures[:1]

@@ -129,6 +129,30 @@ class TestCorruptionDetection:
         with pytest.raises(ChainError):
             load_system(directory)
 
+    def test_partial_manifest_is_chain_error(self, small_system, tmp_path):
+        """Regression: a manifest cut mid-write must surface as the typed
+        ChainError, never as a raw JSONDecodeError traceback."""
+        directory = self._saved(small_system, tmp_path)
+        raw = (directory / "manifest.json").read_text()
+        for cut in (1, len(raw) // 3, len(raw) - 2):
+            (directory / "manifest.json").write_text(raw[:cut])
+            with pytest.raises(ChainError, match="corrupt chain manifest"):
+                load_system(directory)
+
+    def test_save_manifest_is_atomic(self, small_system, tmp_path):
+        """save_system goes through a side file + rename: after a save no
+        tmp file remains, and a stale tmp from a simulated earlier crash
+        is simply replaced rather than trusted."""
+        _workload, system = small_system
+        directory = tmp_path / "chain"
+        (tmp_path).mkdir(exist_ok=True)
+        directory.mkdir()
+        (directory / "manifest.json.tmp").write_text("{torn")
+        save_system(system, directory)
+        assert not (directory / "manifest.json.tmp").exists()
+        loaded = load_system(directory)
+        assert loaded.tip_height == system.tip_height
+
 
 class TestHeaderFiles:
     def test_roundtrip(self, small_system, tmp_path):

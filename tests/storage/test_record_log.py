@@ -1,0 +1,122 @@
+"""Frame-level tests for the append-only record log."""
+
+import struct
+
+import pytest
+
+from repro.errors import ChainError
+from repro.storage.record_log import (
+    FRAME_OVERHEAD,
+    MAX_PAYLOAD_BYTES,
+    RECORD_BLOCK,
+    RECORD_ROLLBACK,
+    block_record,
+    encode_record,
+    replay_records,
+    rollback_record,
+    walk_records,
+)
+
+
+def _frames(*payloads):
+    return b"".join(encode_record(RECORD_BLOCK, p) for p in payloads)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        raw = _frames(b"alpha", b"", b"x" * 300)
+        records, bad, reason = walk_records(raw)
+        assert bad is None and reason is None
+        assert [r.payload for r in records] == [b"alpha", b"", b"x" * 300]
+        assert records[0].offset == 0
+        assert records[0].end_offset == FRAME_OVERHEAD + 5
+        assert records[-1].end_offset == len(raw)
+
+    def test_empty_log(self):
+        records, bad, _ = walk_records(b"")
+        assert records == [] and bad is None
+
+    def test_truncated_header(self):
+        raw = _frames(b"one") + b"\x01\x02"
+        records, bad, reason = walk_records(raw)
+        assert len(records) == 1
+        assert bad == records[0].end_offset
+        assert "header" in reason
+
+    def test_truncated_body(self):
+        full = encode_record(RECORD_BLOCK, b"payload")
+        records, bad, reason = walk_records(full[:-1])
+        assert records == [] and bad == 0 and "body" in reason
+
+    def test_crc_flip_detected(self):
+        raw = bytearray(_frames(b"one", b"two"))
+        raw[FRAME_OVERHEAD - 1] ^= 0x40  # inside record 0's payload area
+        records, bad, reason = walk_records(bytes(raw))
+        assert bad == 0 and reason == "CRC mismatch"
+        assert records == []
+
+    def test_damage_only_breaks_suffix(self):
+        first = encode_record(RECORD_BLOCK, b"keep")
+        raw = bytearray(first + encode_record(RECORD_BLOCK, b"lose"))
+        raw[len(first) + FRAME_OVERHEAD - 2] ^= 0xFF
+        records, bad, _ = walk_records(bytes(raw))
+        assert [r.payload for r in records] == [b"keep"]
+        assert bad == len(first)
+
+    def test_implausible_length_is_frame_damage(self):
+        raw = struct.pack("<BI", RECORD_BLOCK, MAX_PAYLOAD_BYTES + 1)
+        records, bad, reason = walk_records(raw + b"\x00" * 32)
+        assert records == [] and bad == 0 and "implausible" in reason
+
+    def test_oversized_payload_refused_at_encode(self):
+        with pytest.raises(ChainError):
+            encode_record(RECORD_BLOCK, b"\x00" * (MAX_PAYLOAD_BYTES + 1))
+
+    def test_rollback_height_must_fit_u32(self):
+        with pytest.raises(ChainError):
+            rollback_record(1 << 32)
+        with pytest.raises(ChainError):
+            rollback_record(-1)
+
+
+class TestReplay:
+    def test_appends_accumulate(self):
+        raw = block_record(b"b0", b"h0") + block_record(b"b1", b"h1")
+        records, bad, _ = walk_records(raw)
+        assert bad is None
+        assert replay_records(records) == [(b"b0", b"h0"), (b"b1", b"h1")]
+
+    def test_rollback_drops_suffix(self):
+        raw = (
+            block_record(b"b0", b"h0")
+            + block_record(b"b1", b"h1")
+            + block_record(b"b2", b"h2")
+            + rollback_record(0)
+            + block_record(b"b1'", b"h1'")
+        )
+        records, bad, _ = walk_records(raw)
+        assert bad is None
+        assert replay_records(records) == [(b"b0", b"h0"), (b"b1'", b"h1'")]
+
+    def test_rollback_past_tip_is_corruption(self):
+        raw = block_record(b"b0", b"h0") + rollback_record(5)
+        records, _, _ = walk_records(raw)
+        with pytest.raises(ChainError, match="rollback"):
+            replay_records(records)
+
+    def test_unknown_record_type_is_corruption(self):
+        records, bad, _ = walk_records(encode_record(99, b"?"))
+        assert bad is None  # the frame itself is intact
+        with pytest.raises(ChainError, match="unknown record type"):
+            replay_records(records)
+
+    def test_malformed_block_payload_is_corruption(self):
+        records, bad, _ = walk_records(encode_record(RECORD_BLOCK, b"\xff"))
+        assert bad is None
+        with pytest.raises(ChainError, match="corrupt block record"):
+            replay_records(records)
+
+    def test_malformed_rollback_payload_is_corruption(self):
+        records, _, _ = walk_records(encode_record(RECORD_ROLLBACK, b"\x01"))
+        with pytest.raises(ChainError, match="corrupt rollback record"):
+            replay_records(records)

@@ -117,6 +117,51 @@ class TestSegmentsCommand:
         assert "[465,466]" in out
 
 
+class TestVerifyStoreCommand:
+    @pytest.fixture()
+    def store_dir(self, tmp_path):
+        from repro.query.builder import build_system
+        from repro.query.config import SystemConfig
+        from repro.storage.durable import DurableStore
+        from repro.workload.generator import WorkloadParams, generate_workload
+
+        workload = generate_workload(
+            WorkloadParams(num_blocks=5, txs_per_block=3, seed=17)
+        )
+        system = build_system(
+            workload.bodies, SystemConfig.lvq(bf_bytes=96, segment_len=4)
+        )
+        DurableStore.create(tmp_path / "store", system)
+        return tmp_path / "store"
+
+    def test_clean_store_exits_zero(self, capsys, store_dir):
+        code, out = run_cli(capsys, "verify-store", str(store_dir), "--deep")
+        assert code == 0
+        assert "clean" in out
+        assert "blocks          : 6" in out
+
+    def test_corrupt_store_exits_one(self, capsys, store_dir):
+        log = store_dir / "chain.log"
+        raw = bytearray(log.read_bytes())
+        raw[8] ^= 0xFF
+        log.write_bytes(bytes(raw))
+        code, out = run_cli(capsys, "verify-store", str(store_dir))
+        assert code == 1
+        assert "CORRUPT" in out
+        assert "first bad record: offset 0" in out
+
+    def test_torn_tail_still_clean(self, capsys, store_dir):
+        log = store_dir / "chain.log"
+        log.write_bytes(log.read_bytes() + b"\x01\x02\x03")
+        code, out = run_cli(capsys, "verify-store", str(store_dir))
+        assert code == 0
+        assert "torn tail" in out
+
+    def test_not_a_store(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "verify-store", str(tmp_path))
+        assert code == 1
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
