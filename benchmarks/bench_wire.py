@@ -1,0 +1,233 @@
+"""Wire-efficiency benchmark: PR 5 encoding vs aggregation + compression.
+
+For every fig12 system this harness answers the all-probes batch query
+and measures four encodings of the same response:
+
+* ``plain``   — the PR 5 per-fragment ``BatchQueryResult`` bytes (the
+  byte-equivalence oracle path);
+* ``agg``     — the §8.1 blob-table aggregated re-encoding;
+* ``plain_z`` — the plain bytes behind the per-frame zlib codec;
+* ``agg_z``   — aggregation then the codec: what the wire actually pays.
+
+Before any size is recorded, the aggregated bytes are decoded and
+re-serialized through the plain path and must reproduce it
+byte-for-byte — a smaller frame that decodes to a different batch is
+worthless.  The same four levels are swept across the fig13/fig15 BF
+sizes and the fig16 segment lengths (single-address results per probe
+cover the fig14 composition angle), plus the header-sync frames (full
+vs §8.2 delta vs delta+z).
+
+Results land in ``BENCH_wire.json`` at the repo root; EXPERIMENTS.md
+documents the schema.  The acceptance gate: at paper scale the
+aggregated+compressed batch response must be ≥25% smaller than the
+plain encoding on *every* fig12 system.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_wire.py``
+(``LVQ_BENCH_BLOCKS=64`` for the CI smoke run; the gate is enforced at
+every scale — the reduction is size-dominated, not timing-dominated, so
+even the smoke chain must clear it).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _common import (
+    BENCH_BLOCKS,
+    BENCH_TXS,
+    NUM_HASHES,
+    bf_bytes,
+    fig12_configs,
+    lvq_config_for_kib,
+)
+from repro.node.messages import DeltaHeadersResponse, HeadersResponse
+from repro.node.transport import compress_frame
+from repro.query.aggregate import (
+    batch_of_result,
+    decode_aggregated_batch,
+    encode_aggregated_batch,
+)
+from repro.query.batch import answer_batch_query
+from repro.query.builder import build_system
+from repro.query.prover import answer_query
+from repro.workload.generator import WorkloadParams, generate_workload
+
+#: The acceptance gate: agg+z must shave at least this fraction off the
+#: plain batch encoding on every fig12 system.
+REQUIRED_REDUCTION = 0.25
+
+#: fig13/fig15 BF sweep trimmed to the ends and the paper's pick.
+BF_KIB_SWEEP = (10, 30, 100, 500)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_wire.json"
+
+
+def _levels(plain: bytes, aggregated: bytes) -> dict:
+    plain_z = compress_frame(plain)
+    agg_z = compress_frame(aggregated)
+    return {
+        "plain": len(plain),
+        "agg": len(aggregated),
+        "plain_z": len(plain_z),
+        "agg_z": len(agg_z),
+        "reduction": 1.0 - len(agg_z) / len(plain) if plain else 0.0,
+    }
+
+
+def _batch_levels(system, addresses) -> dict:
+    """Sizes for the all-probes batch, with the oracle equivalence check."""
+    config = system.config
+    batch = answer_batch_query(system, addresses)
+    plain = batch.serialize(config)
+    aggregated = encode_aggregated_batch(batch, config)
+    decoded = decode_aggregated_batch(aggregated, config)
+    if decoded.serialize(config) != plain:
+        raise AssertionError(
+            f"{config.kind.value}: aggregated round-trip is not "
+            "byte-identical to the plain encoding"
+        )
+    return _levels(plain, aggregated)
+
+
+def _single_levels(system, address) -> dict:
+    config = system.config
+    result = answer_query(system, address)
+    return _levels(
+        result.serialize(config),
+        encode_aggregated_batch(batch_of_result(result), config),
+    )
+
+
+def _header_levels(system) -> dict:
+    """Full-chain header sync: legacy frame vs §8.2 delta frame."""
+    headers = system.headers()[1:]
+    full = HeadersResponse(1, headers).serialize()
+    delta = DeltaHeadersResponse(1, headers).serialize()
+    return {
+        "headers": len(headers),
+        "full": len(full),
+        "delta": len(delta),
+        "delta_z": len(compress_frame(delta)),
+        "reduction": 1.0 - len(compress_frame(delta)) / len(full),
+    }
+
+
+def main() -> int:
+    params = WorkloadParams(
+        num_blocks=BENCH_BLOCKS, txs_per_block=BENCH_TXS, seed=2020
+    )
+    print(f"bench_wire: blocks={BENCH_BLOCKS} txs/block={BENCH_TXS}")
+    workload = generate_workload(params)
+    probes = workload.probe_addresses
+    addresses = list(probes.values())
+
+    report = {
+        "schema": "lvq-bench-wire/v1",
+        "params": {
+            "blocks": BENCH_BLOCKS,
+            "txs_per_block": BENCH_TXS,
+            "num_hashes": NUM_HASHES,
+            "seed": 2020,
+        },
+        "fig12": {},
+        "fig13_bf_sweep": {},
+        "fig16_segment_sweep": {},
+        "headers": {},
+        "target": {"required_reduction": REQUIRED_REDUCTION},
+    }
+
+    # -- fig12: the four evaluated systems, batch + per-probe singles ----
+    for name, config in fig12_configs().items():
+        start = time.perf_counter()
+        system = build_system(workload.bodies, config)
+        entry = {
+            "build_seconds": time.perf_counter() - start,
+            "batch": _batch_levels(system, addresses),
+            "single": {
+                probe: _single_levels(system, address)
+                for probe, address in probes.items()
+            },
+        }
+        report["fig12"][name] = entry
+        row = entry["batch"]
+        print(
+            f"  fig12 {name:10s} plain={row['plain']:10,} "
+            f"agg+z={row['agg_z']:10,} reduction={row['reduction']:.1%}"
+        )
+
+    # -- fig13/fig15 workload: LVQ across the BF-size sweep --------------
+    for paper_kib in BF_KIB_SWEEP:
+        system = build_system(workload.bodies, lvq_config_for_kib(paper_kib))
+        report["fig13_bf_sweep"][str(paper_kib)] = {
+            "bf_bytes": bf_bytes(paper_kib),
+            "batch": _batch_levels(system, addresses),
+        }
+
+    # -- fig16 workload: LVQ across segment lengths ----------------------
+    from repro.query.config import SystemConfig
+
+    segment_len = 1
+    sweep = []
+    while segment_len <= BENCH_BLOCKS:
+        sweep.append(segment_len)
+        segment_len *= 4
+    if sweep[-1] != BENCH_BLOCKS:
+        sweep.append(BENCH_BLOCKS)
+    for segment_len in sweep:
+        config = SystemConfig.lvq(
+            bf_bytes=bf_bytes(30),
+            segment_len=segment_len,
+            num_hashes=NUM_HASHES,
+        )
+        system = build_system(workload.bodies, config)
+        report["fig16_segment_sweep"][str(segment_len)] = {
+            "batch": _batch_levels(system, addresses)
+        }
+
+    # -- header sync: full vs delta frames -------------------------------
+    for name, config in fig12_configs().items():
+        system = build_system(workload.bodies, config)
+        report["headers"][name] = _header_levels(system)
+
+    target = report["target"]
+    target["reductions"] = {
+        name: entry["batch"]["reduction"]
+        for name, entry in report["fig12"].items()
+    }
+    target["met"] = all(
+        reduction >= REQUIRED_REDUCTION
+        for reduction in target["reductions"].values()
+    )
+
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")
+
+    for name, row in report["headers"].items():
+        print(
+            f"  headers {name:10s} full={row['full']:10,} "
+            f"delta+z={row['delta_z']:10,} reduction={row['reduction']:.1%}"
+        )
+
+    if not target["met"]:
+        worst = min(target["reductions"].items(), key=lambda kv: kv[1])
+        print(
+            f"FAIL: {worst[0]} batch reduction {worst[1]:.1%} is below "
+            f"the required {REQUIRED_REDUCTION:.0%}"
+        )
+        return 1
+    print(
+        "target: min reduction "
+        f"{min(target['reductions'].values()):.1%} >= "
+        f"{REQUIRED_REDUCTION:.0%} (met)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

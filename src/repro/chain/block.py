@@ -160,6 +160,31 @@ class BmtExtension(HeaderExtension):
         return isinstance(other, BmtExtension) and self.bmt_root == other.bmt_root
 
 
+def deserialize_extension(
+    reader: ByteReader, extension_kind: int, bloom_bytes: int = 0
+) -> HeaderExtension:
+    """Decode just the extension tail — shared by full-header decoding and
+    the delta-header wire format, whose headers omit the prev-hash but
+    still carry the extension verbatim."""
+    if extension_kind == _EXT_NONE:
+        return NoExtension()
+    if extension_kind == _EXT_BLOOM:
+        if bloom_bytes <= 0:
+            raise EncodingError("bloom extension needs a filter size")
+        return BloomExtension(BloomFilter.from_bytes(reader.bytes(bloom_bytes), 1))
+    if extension_kind == _EXT_BLOOM_HASH:
+        return BloomHashExtension(reader.bytes(HASH_SIZE))
+    if extension_kind == _EXT_LVQ:
+        return LvqExtension(reader.bytes(HASH_SIZE), reader.bytes(HASH_SIZE))
+    if extension_kind == _EXT_BLOOM_HASH_SMT:
+        return BloomHashSmtExtension(
+            reader.bytes(HASH_SIZE), reader.bytes(HASH_SIZE)
+        )
+    if extension_kind == _EXT_BMT_ONLY:
+        return BmtExtension(reader.bytes(HASH_SIZE))
+    raise EncodingError(f"unknown header extension kind {extension_kind}")
+
+
 class BlockHeader:
     """Bitcoin's 80-byte header core plus a system-specific extension."""
 
@@ -230,29 +255,7 @@ class BlockHeader:
         version, prev_hash, merkle_root, timestamp, bits, nonce = struct.unpack(
             "<I32s32sIII", core
         )
-        extension: HeaderExtension
-        if extension_kind == _EXT_NONE:
-            extension = NoExtension()
-        elif extension_kind == _EXT_BLOOM:
-            if bloom_bytes <= 0:
-                raise EncodingError("bloom extension needs a filter size")
-            extension = BloomExtension(
-                BloomFilter.from_bytes(reader.bytes(bloom_bytes), 1)
-            )
-        elif extension_kind == _EXT_BLOOM_HASH:
-            extension = BloomHashExtension(reader.bytes(HASH_SIZE))
-        elif extension_kind == _EXT_LVQ:
-            extension = LvqExtension(
-                reader.bytes(HASH_SIZE), reader.bytes(HASH_SIZE)
-            )
-        elif extension_kind == _EXT_BLOOM_HASH_SMT:
-            extension = BloomHashSmtExtension(
-                reader.bytes(HASH_SIZE), reader.bytes(HASH_SIZE)
-            )
-        elif extension_kind == _EXT_BMT_ONLY:
-            extension = BmtExtension(reader.bytes(HASH_SIZE))
-        else:
-            raise EncodingError(f"unknown header extension kind {extension_kind}")
+        extension = deserialize_extension(reader, extension_kind, bloom_bytes)
         return cls(
             prev_hash, merkle_root, timestamp, extension, version, bits, nonce
         )

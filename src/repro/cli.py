@@ -110,6 +110,10 @@ def cmd_query(args) -> int:
     print(f"balance (Eq 1): {history.balance():,}")
     print(f"BMT endpoints : {history.num_endpoints}")
     print(f"proof bytes   : {transport.stats.bytes_to_client:,}")
+    sizes = full_node.query(address, **kwargs).breakdown(config)
+    print(f"raw result    : {sizes.total_bytes:,}")
+    print(f"wire (agg)    : {sizes.aggregated_bytes:,}")
+    print(f"wire (agg+z)  : {sizes.compressed_bytes:,}")
     if args.verbose:
         for height, tx in history.transactions:
             received = tx.received_by(address)

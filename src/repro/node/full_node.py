@@ -124,16 +124,28 @@ class FullNode:
             return self.response_cache.get_or_build(key, build)
 
     def handle_batch_query(self, payload: bytes) -> bytes:
-        from repro.node.messages import BatchQueryRequest, BatchQueryResponse
+        from repro.node.messages import (
+            _MSG_AGG_BATCH_REQUEST,
+            AggregatedBatchRequest,
+            AggregatedBatchResponse,
+            BatchQueryRequest,
+            BatchQueryResponse,
+        )
 
-        request = BatchQueryRequest.deserialize(payload)
+        # The request tag selects the response encoding: the aggregated
+        # tag asks for the blob-table form (§8.1), the plain tag for the
+        # PR 5 per-fragment form, kept as the byte-equivalence oracle.
+        aggregated = bool(payload) and payload[0] == _MSG_AGG_BATCH_REQUEST
+        request_cls = AggregatedBatchRequest if aggregated else BatchQueryRequest
+        request = request_cls.deserialize(payload)
         if not request.addresses:
             raise QueryError("batch query request carries no addresses")
         if any(not address for address in request.addresses):
             raise QueryError("empty address in batch query request")
         last = request.last_height if request.last_height else None
         batch = self.answer_batch(request.addresses, request.first_height, last)
-        return BatchQueryResponse(batch).serialize(self.system.config)
+        response_cls = AggregatedBatchResponse if aggregated else BatchQueryResponse
+        return response_cls(batch).serialize(self.system.config)
 
     def answer_batch(
         self,
@@ -149,7 +161,16 @@ class FullNode:
         )
 
     def handle_headers(self, payload: bytes) -> bytes:
-        request = HeadersRequest.deserialize(payload)
+        from repro.node.messages import (
+            _MSG_DELTA_HEADERS_REQUEST,
+            DeltaHeadersRequest,
+            DeltaHeadersResponse,
+        )
+
+        delta = bool(payload) and payload[0] == _MSG_DELTA_HEADERS_REQUEST
+        request_cls = DeltaHeadersRequest if delta else HeadersRequest
+        request = request_cls.deserialize(payload)
+        response_cls = DeltaHeadersResponse if delta else HeadersResponse
         with self.system.lock.read():
             if request.from_height > self.tip_height + 1:
                 raise QueryError(
@@ -157,7 +178,7 @@ class FullNode:
                     f"{self.tip_height}"
                 )
             # Slice the block range first: O(requested headers), not O(chain).
-            response = HeadersResponse(
+            response = response_cls(
                 request.from_height,
                 self.system.chain.headers_from(request.from_height),
             )

@@ -88,26 +88,39 @@ class LightNode:
         self,
         full_node: FullNode,
         transport: "Optional[InProcessTransport]" = None,
+        delta: bool = False,
     ) -> int:
         """Fetch headers beyond the local tip, validate linkage, append.
+
+        With ``delta=True`` the server answers with the delta-encoded
+        frame (§8.2): prev-hashes are omitted on the wire and re-derived
+        here by hashing, so the linkage check below still runs against
+        hashes this client computed itself.
 
         Returns the number of headers accepted.  Raises
         :class:`VerificationError` if the served headers do not link onto
         the local chain — a full node cannot splice in a divergent
         history during sync.
         """
-        from repro.node.messages import HeadersRequest, HeadersResponse
+        from repro.node.messages import (
+            DeltaHeadersRequest,
+            DeltaHeadersResponse,
+            HeadersRequest,
+            HeadersResponse,
+        )
 
+        request_cls = DeltaHeadersRequest if delta else HeadersRequest
+        response_cls = DeltaHeadersResponse if delta else HeadersResponse
         if transport is None:
             transport = InProcessTransport()
         from_height = self.tip_height + 1
         request_bytes = transport.send_to_server(
-            HeadersRequest(from_height).serialize()
+            request_cls(from_height).serialize()
         )
         response_bytes = transport.send_to_client(
             full_node.handle_headers(request_bytes)
         )
-        response = HeadersResponse.deserialize(
+        response = response_cls.deserialize(
             response_bytes,
             self.config.header_extension_kind,
             self.config.header_bloom_bytes,
@@ -311,27 +324,39 @@ class LightNode:
         transport: Optional[InProcessTransport] = None,
         first_height: int = 1,
         last_height: Optional[int] = None,
+        aggregated: bool = False,
     ) -> "dict[str, VerifiedHistory]":
         """Request and verify histories for several addresses at once.
 
         On strawman-family systems the per-block filters ship once for
         the whole batch — the amortization measured by
-        ``bench_ablation_batch.py``.
+        ``bench_ablation_batch.py``.  With ``aggregated=True`` the server
+        responds in the blob-table encoding (§8.1); the decoded batch
+        goes through the identical ``verify_batch_result`` path.
         """
-        from repro.node.messages import BatchQueryRequest, BatchQueryResponse
+        from repro.node.messages import (
+            AggregatedBatchRequest,
+            AggregatedBatchResponse,
+            BatchQueryRequest,
+            BatchQueryResponse,
+        )
         from repro.query.batch import verify_batch_result
 
+        request_cls = AggregatedBatchRequest if aggregated else BatchQueryRequest
+        response_cls = (
+            AggregatedBatchResponse if aggregated else BatchQueryResponse
+        )
         if transport is None:
             transport = InProcessTransport()
         request_bytes = transport.send_to_server(
-            BatchQueryRequest(
+            request_cls(
                 list(addresses), first_height, last_height or 0
             ).serialize()
         )
         response_bytes = transport.send_to_client(
             full_node.handle_batch_query(request_bytes)
         )
-        response = BatchQueryResponse.deserialize(response_bytes, self.config)
+        response = response_cls.deserialize(response_bytes, self.config)
         expected_range = (
             first_height,
             last_height if last_height is not None else self.tip_height,

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.chain.block import BlockHeader
+from repro.chain.block import BlockHeader, deserialize_extension
 from repro.crypto.encoding import ByteReader, write_var_bytes, write_varint
+from repro.crypto.hashing import HASH_SIZE
 from repro.errors import EncodingError
 from repro.query.config import SystemConfig
 from repro.query.result import QueryResult
@@ -23,6 +24,18 @@ _MSG_HEADERS_REQUEST = 3
 _MSG_HEADERS_RESPONSE = 4
 _MSG_BATCH_REQUEST = 5
 _MSG_BATCH_RESPONSE = 6
+_MSG_DELTA_HEADERS_REQUEST = 7
+_MSG_DELTA_HEADERS_RESPONSE = 8
+_MSG_AGG_BATCH_REQUEST = 9
+_MSG_AGG_BATCH_RESPONSE = 10
+
+
+def _zigzag(n: int) -> int:
+    return (n << 1) if n >= 0 else ((-n << 1) - 1)
+
+
+def _unzigzag(z: int) -> int:
+    return (z >> 1) if not (z & 1) else -((z + 1) >> 1)
 
 
 class QueryRequest:
@@ -223,6 +236,144 @@ class HeadersResponse:
             header_reader.finish()
         reader.finish()
         return cls(from_height, headers)
+
+
+class DeltaHeadersRequest(HeadersRequest):
+    """Light → full: headers from a height on, delta-encoded (§8.2).
+
+    Same payload shape as :class:`HeadersRequest`; the tag alone selects
+    the response encoding, which is how compression is "negotiated" —
+    an old server simply rejects the unknown tag.
+    """
+
+    type_tag = _MSG_DELTA_HEADERS_REQUEST
+
+
+class DeltaHeadersResponse:
+    """Full → light: consecutive headers with the prev-hash implied.
+
+    The first header ships in full; each subsequent one omits its 32-byte
+    ``prev_hash`` (the chain link makes it equal to the previous header's
+    id) and varint-packs the small core fields, with the timestamp as a
+    zigzag delta.  The decoder *derives* the missing prev-hash by hashing
+    the previous header, so a server cannot smuggle in a header whose
+    linkage the client has not itself recomputed.
+    """
+
+    __slots__ = ("from_height", "headers")
+
+    type_tag = _MSG_DELTA_HEADERS_RESPONSE
+
+    def __init__(self, from_height: int, headers: List[BlockHeader]) -> None:
+        self.from_height = from_height
+        self.headers = headers
+
+    def serialize(self) -> bytes:
+        parts = [
+            bytes([self.type_tag]),
+            write_varint(self.from_height),
+            write_varint(len(self.headers)),
+        ]
+        previous = None
+        for header in self.headers:
+            if previous is None:
+                parts.append(write_var_bytes(header.serialize()))
+            else:
+                if header.prev_hash != previous.block_id():
+                    raise EncodingError(
+                        "delta header encoding requires chained headers"
+                    )
+                parts.append(write_varint(header.version))
+                parts.append(
+                    write_varint(_zigzag(header.timestamp - previous.timestamp))
+                )
+                parts.append(write_varint(header.bits))
+                parts.append(write_varint(header.nonce))
+                parts.append(header.merkle_root)
+                parts.append(header.extension.serialize())
+            previous = header
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(
+        cls, payload: bytes, extension_kind: int, bloom_bytes: int = 0
+    ) -> "DeltaHeadersResponse":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        from_height = reader.varint()
+        count = reader.varint()
+        if count > 100_000_000:
+            raise EncodingError(f"implausible header count {count}")
+        headers: List[BlockHeader] = []
+        previous = None
+        for _ in range(count):
+            if previous is None:
+                header_reader = ByteReader(reader.var_bytes())
+                previous = BlockHeader.deserialize(
+                    header_reader, extension_kind, bloom_bytes
+                )
+                header_reader.finish()
+            else:
+                version = reader.varint()
+                timestamp = previous.timestamp + _unzigzag(reader.varint())
+                if timestamp < 0:
+                    raise EncodingError("delta header timestamp underflow")
+                bits = reader.varint()
+                nonce = reader.varint()
+                merkle_root = reader.bytes(HASH_SIZE)
+                extension = deserialize_extension(
+                    reader, extension_kind, bloom_bytes
+                )
+                previous = BlockHeader(
+                    previous.block_id(),
+                    merkle_root,
+                    timestamp,
+                    extension,
+                    version,
+                    bits,
+                    nonce,
+                )
+            headers.append(previous)
+        reader.finish()
+        return cls(from_height, headers)
+
+
+class AggregatedBatchRequest(BatchQueryRequest):
+    """Light → full: a batch query answered with the aggregated encoding.
+
+    Identical payload to :class:`BatchQueryRequest`; the tag selects the
+    response format (§8.1).
+    """
+
+    type_tag = _MSG_AGG_BATCH_REQUEST
+
+
+class AggregatedBatchResponse:
+    """Full → light: a :class:`BatchQueryResult` in blob-table form."""
+
+    __slots__ = ("batch",)
+
+    type_tag = _MSG_AGG_BATCH_RESPONSE
+
+    def __init__(self, batch) -> None:
+        self.batch = batch
+
+    def serialize(self, config: SystemConfig) -> bytes:
+        from repro.query.aggregate import encode_aggregated_batch
+
+        return bytes([self.type_tag]) + encode_aggregated_batch(
+            self.batch, config
+        )
+
+    @classmethod
+    def deserialize(
+        cls, payload: bytes, config: SystemConfig
+    ) -> "AggregatedBatchResponse":
+        from repro.query.aggregate import decode_aggregated_batch
+
+        if not payload or payload[0] != cls.type_tag:
+            raise EncodingError("not an aggregated batch response")
+        return cls(decode_aggregated_batch(payload[1:], config))
 
 
 def _expect_tag(reader: ByteReader, tag: int) -> None:

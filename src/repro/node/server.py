@@ -42,6 +42,8 @@ _DISPATCH = {
     _messages._MSG_QUERY_REQUEST: "handle_query",
     _messages._MSG_HEADERS_REQUEST: "handle_headers",
     _messages._MSG_BATCH_REQUEST: "handle_batch_query",
+    _messages._MSG_DELTA_HEADERS_REQUEST: "handle_headers",
+    _messages._MSG_AGG_BATCH_REQUEST: "handle_batch_query",
 }
 
 _SHUTDOWN = object()

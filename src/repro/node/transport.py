@@ -6,13 +6,46 @@ counted pipes: every message that crosses it adds ``len(payload)`` to the
 direction's counter, so experiments read real serialized sizes rather
 than estimates.  A configurable byte budget lets failure-injection tests
 simulate a link that dies mid-query.
+
+This module also hosts the optional per-frame compression layer
+(PROTOCOL.md §8.3): :func:`compress_frame` / :func:`decompress_frame`
+implement the self-describing compressed-frame format, and
+:class:`CompressedTransport` wraps any transport so both directions are
+compressed on the wire while handlers keep seeing plain frames.  Byte
+counters always record what actually crossed the link — the compressed
+sizes.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional
 
-from repro.errors import TransportError
+from repro.errors import EncodingError, TransportError
+
+try:  # pragma: no cover - exercised only where the library exists
+    import zstandard as _zstd
+except ImportError:  # the baked image ships no zstd binding
+    _zstd = None
+
+#: True when the optional zstd codec can actually be used.
+HAVE_ZSTD = _zstd is not None
+
+#: Compressed-frame wire tags.  Plain message tags occupy the low range
+#: (see :mod:`repro.node.messages`); a receiver dispatches on the first
+#: byte, so these must never collide with a message tag.
+FRAME_ZLIB = 0x10
+FRAME_ZSTD = 0x11
+
+#: Frames smaller than this ship raw by default — the codec header plus
+#: deflate overhead would only grow them.
+MIN_COMPRESS_SIZE = 64
+
+#: Upper bound on the claimed decompressed size of one frame; anything
+#: larger is treated as a decode attack, not a legitimate response.
+_MAX_RAW_FRAME = 1 << 31
+
+_CODECS = ("zlib", "zstd")
 
 
 class TransportStats:
@@ -183,3 +216,151 @@ class InProcessTransport:
             )
         self.stats.messages_to_client += 1
         return payload
+
+
+# ---------------------------------------------------------------------------
+# per-frame compression (PROTOCOL.md §8.3)
+
+
+def _write_frame_varint(value: int) -> bytes:
+    # Local import: encoding depends only on errors, but keeping the
+    # transport importable without the crypto package is not worth a
+    # second varint implementation.
+    from repro.crypto.encoding import write_varint
+
+    return write_varint(value)
+
+
+def compress_frame(
+    payload: bytes, codec: str = "zlib", min_size: int = MIN_COMPRESS_SIZE
+) -> bytes:
+    """Wrap ``payload`` in a compressed frame when that actually helps.
+
+    The result is self-describing: either the original frame (first byte
+    is a plain message tag) or ``[codec tag][varint raw_len][codec
+    stream]``.  Frames below ``min_size``, and frames the codec fails to
+    shrink, pass through untouched — negotiation is per frame, by tag.
+    """
+    if codec not in _CODECS:
+        raise EncodingError(f"unknown compression codec {codec!r}")
+    if len(payload) < min_size:
+        return payload
+    if codec == "zstd":
+        if _zstd is None:
+            raise EncodingError("zstd codec requested but library unavailable")
+        tag, body = FRAME_ZSTD, _zstd.ZstdCompressor().compress(payload)
+    else:
+        tag, body = FRAME_ZLIB, zlib.compress(payload, 6)
+    frame = bytes([tag]) + _write_frame_varint(len(payload)) + body
+    if len(frame) >= len(payload):
+        return payload
+    return frame
+
+
+def decompress_frame(frame: bytes) -> bytes:
+    """Undo :func:`compress_frame`; raw frames pass through unchanged.
+
+    Every failure mode — truncated stream, corrupt codec data, a length
+    header that lies, trailing garbage, an implausible claimed size, a
+    zstd frame without the library — raises :class:`EncodingError`, the
+    same typed decode failure a mangled plain frame produces.
+    """
+    if not frame or frame[0] not in (FRAME_ZLIB, FRAME_ZSTD):
+        return frame
+    from repro.crypto.encoding import ByteReader
+
+    reader = ByteReader(frame)
+    tag = reader.bytes(1)[0]
+    raw_len = reader.varint()
+    if raw_len > _MAX_RAW_FRAME:
+        raise EncodingError(f"implausible decompressed frame size {raw_len}")
+    body = reader.bytes(reader.remaining)
+    if tag == FRAME_ZSTD:
+        if _zstd is None:
+            raise EncodingError("received a zstd frame without zstd support")
+        try:
+            raw = _zstd.ZstdDecompressor().decompress(
+                body, max_output_size=max(raw_len, 1)
+            )
+        except _zstd.ZstdError as exc:  # pragma: no cover - needs zstd
+            raise EncodingError(f"bad zstd frame: {exc}") from exc
+    else:
+        decomp = zlib.decompressobj()
+        try:
+            # max_length=0 would mean "unbounded" — always pass >= 1 so a
+            # frame claiming 0 bytes cannot smuggle an expansion bomb.
+            raw = decomp.decompress(body, max(raw_len, 1))
+        except zlib.error as exc:
+            raise EncodingError(f"bad zlib frame: {exc}") from exc
+        if not decomp.eof or decomp.unconsumed_tail:
+            raise EncodingError("zlib frame does not end where it claims to")
+        if decomp.unused_data:
+            raise EncodingError("trailing bytes after the zlib stream")
+    if len(raw) != raw_len:
+        raise EncodingError(
+            f"compressed frame claims {raw_len} bytes, carries {len(raw)}"
+        )
+    return raw
+
+
+class CompressedTransport:
+    """Compress both directions of any wrapped transport, per frame.
+
+    Duck-compatible with :class:`InProcessTransport` — handlers on either
+    end keep exchanging *plain* frames while the wrapped transport (and
+    its byte counters, budgets, and fault schedules) sees only the
+    compressed bytes.  Wrapping a
+    :class:`~repro.node.faults.FaultyTransport` therefore makes injected
+    corruption and truncation land on the compressed representation,
+    which is exactly how the chaos suite proves fault handling is
+    codec-agnostic.
+    """
+
+    def __init__(
+        self,
+        inner=None,
+        codec: str = "zlib",
+        min_size: int = MIN_COMPRESS_SIZE,
+    ) -> None:
+        if codec not in _CODECS:
+            raise EncodingError(f"unknown compression codec {codec!r}")
+        if codec == "zstd" and _zstd is None:
+            raise EncodingError("zstd codec requested but library unavailable")
+        self.inner = inner if inner is not None else InProcessTransport()
+        self.codec = codec
+        self.min_size = min_size
+
+    # -- transport surface --------------------------------------------------
+
+    @property
+    def stats(self) -> TransportStats:
+        return self.inner.stats
+
+    @property
+    def is_closed(self) -> bool:
+        return self.inner.is_closed
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def arm_timeout(self, seconds: "Optional[float]") -> None:
+        arm = getattr(self.inner, "arm_timeout", None)
+        if arm is not None:
+            arm(seconds)
+
+    def send_to_server(self, payload: bytes) -> bytes:
+        return decompress_frame(
+            self.inner.send_to_server(
+                compress_frame(payload, self.codec, self.min_size)
+            )
+        )
+
+    def send_to_client(self, payload: bytes) -> bytes:
+        return decompress_frame(
+            self.inner.send_to_client(
+                compress_frame(payload, self.codec, self.min_size)
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"CompressedTransport({self.codec}, inner={self.inner!r})"

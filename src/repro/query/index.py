@@ -13,26 +13,59 @@ module is LVQ's equivalent.
 order).  Per-height appearance counts — the exact leaf content of the
 block's SMT — fall out of the postings by counting entries at a height.
 
+Resident memory is the design constraint here, so the map is keyed by a
+64-bit *short id* — a truncated domain-separated hash of the address —
+and each posting is a single machine int ``(height << 20) | tx_index``
+in a compact ``array('q')`` instead of a list of CPython tuples.  A
+collision-checked intern table pins each short id to the one address
+that owns it; the (astronomically rare at realistic scales, see
+DESIGN.md) colliding addresses fall back to a full-string side table, so
+lookups are always exact — short ids are a memory optimisation, never a
+source of wrong answers.
+
 The index is *prover-side only*: nothing in it is committed to by any
 header, and the verifier never sees it.  An index that drifted from the
 chain could therefore never corrupt a proof — the worst it can do is
 make the prover ship evidence the verifier rejects.  The property tests
 in ``tests/query/test_index.py`` pin it to brute-force
 ``Transaction.involves`` scans anyway.
-
-Memory cost (documented in DESIGN.md): one ``(int, int)`` tuple per
-(address, transaction) incidence — roughly ``num_blocks × txs_per_block
-× addresses_per_tx`` postings, i.e. linear in chain size with a small
-constant (~100 bytes per posting of CPython overhead).
 """
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.chain.transaction import Transaction
+from repro.crypto.hashing import tagged_hash
 from repro.errors import ChainError
+
+#: Bits reserved for the tx-index half of a packed posting.  2^20
+#: transactions per block is ~250× Bitcoin's historical maximum.
+_TX_BITS = 20
+_TX_MASK = (1 << _TX_BITS) - 1
+
+
+def short_id(address: str) -> int:
+    """64-bit truncated hash of ``address`` — the postings-map key.
+
+    Domain-separated from every commitment hash in the system, so no
+    adversarially chosen address string can be steered toward a target
+    short id any more cheaply than brute force (~2^32 hashes for a
+    single collision by the birthday bound).
+    """
+    return int.from_bytes(
+        tagged_hash("index/sid", address.encode("utf-8"))[:8], "little"
+    )
+
+
+def _pack(height: int, tx_index: int) -> int:
+    if tx_index > _TX_MASK:
+        raise ChainError(
+            f"tx index {tx_index} exceeds the {_TX_BITS}-bit posting field"
+        )
+    return (height << _TX_BITS) | tx_index
 
 
 class AddressIndex:
@@ -40,18 +73,41 @@ class AddressIndex:
 
     __slots__ = (
         "_postings",
+        "_intern",
+        "_overflow",
         "_num_postings",
         "_next_height",
         "_height_addresses",
     )
 
     def __init__(self) -> None:
-        self._postings: Dict[str, List[Tuple[int, int]]] = {}
+        #: short id → packed postings of the address *owning* that id.
+        self._postings: Dict[int, array] = {}
+        #: short id → owning address string.  Entries are permanent for
+        #: the life of the index (never dropped on rollback), so an id's
+        #: owner cannot silently change while a collision loser is
+        #: parked in the overflow table.
+        self._intern: Dict[int, str] = {}
+        #: Collision losers: full address string → packed postings.
+        self._overflow: Dict[str, array] = {}
         self._num_postings = 0
         self._next_height = 0
         #: Per-height list of distinct addresses touched — the reverse
         #: map that makes :meth:`rollback_to` O(postings removed).
         self._height_addresses: List[List[str]] = []
+
+    # -- bucket resolution ---------------------------------------------------
+
+    def _bucket(self, address: str) -> "array | None":
+        """The packed postings for ``address``, or ``None``.
+
+        The intern check makes short-id lookups exact: a bucket is only
+        returned when the interned owner string matches byte-for-byte.
+        """
+        sid = short_id(address)
+        if self._intern.get(sid) == address:
+            return self._postings.get(sid)
+        return self._overflow.get(address)
 
     # -- construction ------------------------------------------------------
 
@@ -64,21 +120,41 @@ class AddressIndex:
                 f"index expects height {self._next_height}, got {height}"
             )
         self._next_height = height + 1
-        postings = self._postings
         touched: List[str] = []
         for tx_index, transaction in enumerate(transactions):
+            packed = _pack(height, tx_index)
             # ``addresses()`` is already deduplicated per transaction, so
             # one transaction contributes at most one posting per address
             # (matching both ``involves()`` and the SMT count semantics).
             for address in transaction.addresses():
-                bucket = postings.get(address)
-                if bucket is None:
-                    postings[address] = [(height, tx_index)]
+                sid = short_id(address)
+                owner = self._intern.get(sid)
+                if owner is None:
+                    self._intern[sid] = address
+                    self._postings[sid] = array("q", (packed,))
                     touched.append(address)
-                else:
-                    if bucket[-1][0] != height:
+                elif owner == address:
+                    bucket = self._postings.get(sid)
+                    if bucket is None:
+                        # Owner's postings were fully rolled back; the
+                        # interned claim on the id survives, so recreate.
+                        self._postings[sid] = array("q", (packed,))
                         touched.append(address)
-                    bucket.append((height, tx_index))
+                    else:
+                        if bucket[-1] >> _TX_BITS != height:
+                            touched.append(address)
+                        bucket.append(packed)
+                else:
+                    # Short-id collision: this address loses the id and
+                    # lives in the full-string overflow table forever.
+                    bucket = self._overflow.get(address)
+                    if bucket is None:
+                        self._overflow[address] = array("q", (packed,))
+                        touched.append(address)
+                    else:
+                        if bucket[-1] >> _TX_BITS != height:
+                            touched.append(address)
+                        bucket.append(packed)
                 self._num_postings += 1
         self._height_addresses.append(touched)
 
@@ -97,12 +173,19 @@ class AddressIndex:
             )
         for stale_height in range(self.indexed_height, height, -1):
             for address in self._height_addresses[stale_height]:
-                bucket = self._postings[address]
-                while bucket and bucket[-1][0] == stale_height:
+                sid = short_id(address)
+                if self._intern.get(sid) == address:
+                    store: "Dict[int, array] | Dict[str, array]" = self._postings
+                    key: "int | str" = sid
+                else:
+                    store = self._overflow
+                    key = address
+                bucket = store[key]
+                while bucket and bucket[-1] >> _TX_BITS == stale_height:
                     bucket.pop()
                     self._num_postings -= 1
                 if not bucket:
-                    del self._postings[address]
+                    del store[key]
         del self._height_addresses[height + 1 :]
         self._next_height = height + 1
 
@@ -115,31 +198,34 @@ class AddressIndex:
 
     @property
     def num_addresses(self) -> int:
-        return len(self._postings)
+        return len(self._postings) + len(self._overflow)
 
     @property
     def num_postings(self) -> int:
         return self._num_postings
 
     def __contains__(self, address: str) -> bool:
-        return address in self._postings
+        return self._bucket(address) is not None
 
     def occurrences(self, address: str) -> List[Tuple[int, int]]:
         """All ``(height, tx_index)`` pairs for ``address``, ascending."""
-        return list(self._postings.get(address, ()))
+        bucket = self._bucket(address)
+        if bucket is None:
+            return []
+        return [(packed >> _TX_BITS, packed & _TX_MASK) for packed in bucket]
 
     def tx_indices(self, address: str, height: int) -> List[int]:
         """Indices of the transactions in block ``height`` involving
         ``address``, in block order — the existence-resolution work list."""
-        bucket = self._postings.get(address)
+        bucket = self._bucket(address)
         if not bucket:
             return []
-        lo = bisect_left(bucket, (height, -1))
+        lo = bisect_left(bucket, height << _TX_BITS)
         out: List[int] = []
-        for entry_height, tx_index in bucket[lo:]:
-            if entry_height != height:
+        for packed in bucket[lo:]:
+            if packed >> _TX_BITS != height:
                 break
-            out.append(tx_index)
+            out.append(packed & _TX_MASK)
         return out
 
     def count_at(self, address: str, height: int) -> int:
@@ -150,14 +236,16 @@ class AddressIndex:
     def appearance_counts(self, address: str) -> Dict[int, int]:
         """Per-height appearance counts over the whole chain."""
         counts: Dict[int, int] = {}
-        for height, _tx_index in self._postings.get(address, ()):
+        for packed in self._bucket(address) or ():
+            height = packed >> _TX_BITS
             counts[height] = counts.get(height, 0) + 1
         return counts
 
     def heights(self, address: str) -> List[int]:
         """Distinct heights touching ``address``, ascending."""
         seen: List[int] = []
-        for height, _tx_index in self._postings.get(address, ()):
+        for packed in self._bucket(address) or ():
+            height = packed >> _TX_BITS
             if not seen or seen[-1] != height:
                 seen.append(height)
         return seen
@@ -170,23 +258,30 @@ class AddressIndex:
         positives still surface through the Bloom checks, which this
         never short-circuits).
         """
-        bucket = self._postings.get(address)
+        bucket = self._bucket(address)
         if not bucket:
             return False
-        lo = bisect_left(bucket, (first, -1))
-        return lo < len(bucket) and bucket[lo][0] <= last
+        lo = bisect_left(bucket, first << _TX_BITS)
+        return lo < len(bucket) and bucket[lo] >> _TX_BITS <= last
 
     def addresses(self) -> Iterable[str]:
-        return self._postings.keys()
+        intern = self._intern
+        for sid in self._postings:
+            yield intern[sid]
+        yield from self._overflow
 
     def approx_size_bytes(self) -> int:
         """Rough in-memory footprint (postings only), for capacity math."""
         import sys
 
-        total = sys.getsizeof(self._postings)
-        for address, bucket in self._postings.items():
+        total = sys.getsizeof(self._postings) + sys.getsizeof(self._overflow)
+        total += sys.getsizeof(self._intern)
+        for address in self._intern.values():
+            total += sys.getsizeof(address) + 8  # interned string + int key
+        for bucket in self._postings.values():
+            total += sys.getsizeof(bucket)
+        for address, bucket in self._overflow.items():
             total += sys.getsizeof(address) + sys.getsizeof(bucket)
-            total += len(bucket) * 72  # tuple of two small ints, CPython
         return total
 
     def __repr__(self) -> str:

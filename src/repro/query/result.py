@@ -35,6 +35,8 @@ class SizeBreakdown:
         "ib_bytes",
         "framing_bytes",
         "total_bytes",
+        "aggregated_bytes",
+        "compressed_bytes",
     )
 
     def __init__(self) -> None:
@@ -46,6 +48,8 @@ class SizeBreakdown:
         self.ib_bytes = 0  # integral block bodies
         self.framing_bytes = 0  # tags, varints, message header
         self.total_bytes = 0
+        self.aggregated_bytes = 0  # §8.1 blob-table re-encoding of the result
+        self.compressed_bytes = 0  # aggregated frame after per-frame zlib
 
     def bmt_ratio(self) -> float:
         """Fraction of the result occupied by BMT branches (Fig 14)."""
@@ -63,6 +67,8 @@ class SizeBreakdown:
             "ib": self.ib_bytes,
             "framing": self.framing_bytes,
             "total": self.total_bytes,
+            "aggregated": self.aggregated_bytes,
+            "compressed": self.compressed_bytes,
         }
 
     def __repr__(self) -> str:
@@ -157,6 +163,15 @@ class QueryResult:
             + sizes.ib_bytes
         )
         sizes.framing_bytes = sizes.total_bytes - attributed
+        # Wire sizes: the §8.1 aggregated re-encoding of this result and
+        # that frame after per-frame compression.  Lazy imports break the
+        # result → aggregate → batch → result cycle.
+        from repro.node.transport import compress_frame
+        from repro.query.aggregate import batch_of_result, encode_aggregated_batch
+
+        aggregated = encode_aggregated_batch(batch_of_result(self), config)
+        sizes.aggregated_bytes = len(aggregated)
+        sizes.compressed_bytes = len(compress_frame(aggregated))
         return sizes
 
     # -- serialization ---------------------------------------------------------

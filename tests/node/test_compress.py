@@ -1,0 +1,257 @@
+"""Per-frame compression codec and :class:`CompressedTransport`.
+
+Covers the §8.3 negotiation rules (tag-dispatched, passthrough for
+small or incompressible frames), adversarial decoding (truncated or
+corrupt compressed frames raise :class:`EncodingError`, never a zlib
+exception or a crash), and the codec-agnosticism of the PR 2 fault
+machinery: a chaos spot-run where corrupt/truncate faults land on the
+*compressed* bytes must uphold the same soundness invariant as the
+plain-transport matrix.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import EncodingError, ReproError
+from repro.node.faults import (
+    FaultKind,
+    FaultRule,
+    FaultSchedule,
+    FaultyTransport,
+)
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.node.session import Peer, QuerySession, RetryPolicy
+from repro.node.transport import (
+    FRAME_ZLIB,
+    HAVE_ZSTD,
+    MIN_COMPRESS_SIZE,
+    CompressedTransport,
+    InProcessTransport,
+    SimulatedClock,
+    compress_frame,
+    decompress_frame,
+)
+from repro.query.adversary import ALL_ATTACKS, MaliciousFullNode
+
+
+# ---------------------------------------------------------------------------
+# codec
+
+
+def test_round_trip_compressible_frame():
+    payload = b"ab" * 4096
+    frame = compress_frame(payload)
+    assert frame[0] == FRAME_ZLIB
+    assert len(frame) < len(payload)
+    assert decompress_frame(frame) == payload
+
+
+def test_small_frames_pass_through():
+    payload = b"x" * (MIN_COMPRESS_SIZE - 1)
+    assert compress_frame(payload) == payload
+    assert decompress_frame(payload) == payload
+
+
+def test_incompressible_frames_pass_through():
+    payload = random.Random(7).randbytes(4096)
+    assert compress_frame(payload) == payload
+
+
+def test_unknown_codec_is_refused():
+    with pytest.raises(EncodingError):
+        compress_frame(b"y" * 1024, codec="lz4")
+
+
+def test_zstd_gated_on_library():
+    if HAVE_ZSTD:
+        frame = compress_frame(b"ab" * 4096, codec="zstd")
+        assert decompress_frame(frame) == b"ab" * 4096
+    else:
+        with pytest.raises(EncodingError):
+            compress_frame(b"ab" * 4096, codec="zstd")
+
+
+def test_truncated_compressed_frame_is_typed():
+    frame = compress_frame(b"ab" * 4096)
+    for cut in (1, 2, len(frame) // 2, len(frame) - 1):
+        truncated = frame[:cut]
+        try:
+            decompressed = decompress_frame(truncated)
+        except EncodingError:
+            continue
+        # A cut before the codec tag byte survives only as passthrough.
+        assert decompressed == truncated
+
+
+def test_corrupt_compressed_frame_is_typed():
+    frame = bytearray(compress_frame(b"ab" * 4096))
+    rng = random.Random(13)
+    for _ in range(200):
+        pos = rng.randrange(len(frame))
+        old = frame[pos]
+        frame[pos] = rng.randrange(256)
+        try:
+            decompress_frame(bytes(frame))
+        except ReproError:
+            pass  # typed — the invariant
+        finally:
+            frame[pos] = old
+
+
+def test_declared_length_must_match():
+    import zlib
+
+    from repro.crypto.encoding import write_varint
+
+    body = zlib.compress(b"ab" * 4096)
+    # Lie about the raw length: both shorter and longer must be refused.
+    for lie in (1, 8191, 8193, 1 << 20):
+        frame = bytes([FRAME_ZLIB]) + write_varint(lie) + body
+        with pytest.raises(EncodingError):
+            decompress_frame(frame)
+
+
+def test_trailing_garbage_is_refused():
+    frame = compress_frame(b"ab" * 4096)
+    with pytest.raises(EncodingError):
+        decompress_frame(frame + b"\x00\x01")
+
+
+# ---------------------------------------------------------------------------
+# transport wrapper
+
+
+def test_compressed_transport_end_to_end(lvq_nodes, probe_addresses):
+    full_node, light_node = lvq_nodes
+    plain = InProcessTransport()
+    compressed = CompressedTransport()
+    address = probe_addresses["Addr5"]
+    history_plain = light_node.query_history(full_node, address, plain)
+    history_compressed = light_node.query_history(
+        full_node, address, compressed
+    )
+    assert [(h, t.txid()) for h, t in history_plain.transactions] == [
+        (h, t.txid()) for h, t in history_compressed.transactions
+    ]
+    # The compressed link moved fewer bytes for the same verified answer.
+    assert (
+        compressed.stats.bytes_to_client < plain.stats.bytes_to_client
+    )
+
+
+def test_compressed_transport_aggregated_batch(lvq_nodes, probe_addresses):
+    full_node, light_node = lvq_nodes
+    addresses = [probe_addresses[name] for name in ("Addr4", "Addr5", "Addr6")]
+    plain_t = InProcessTransport()
+    agg_t = CompressedTransport()
+    plain = light_node.query_batch(full_node, addresses, plain_t)
+    aggregated = light_node.query_batch(
+        full_node, addresses, agg_t, aggregated=True
+    )
+    for address in addresses:
+        assert [(h, t.txid()) for h, t in plain[address].transactions] == [
+            (h, t.txid()) for h, t in aggregated[address].transactions
+        ]
+    assert agg_t.stats.bytes_to_client < plain_t.stats.bytes_to_client
+
+
+def test_compressed_transport_delta_sync(lvq_system):
+    full_node = FullNode(lvq_system)
+    genesis = lvq_system.headers()[0]
+    light_node = LightNode([genesis], lvq_system.config)
+    transport = CompressedTransport()
+    accepted = light_node.sync_headers(full_node, transport, delta=True)
+    assert accepted == lvq_system.tip_height
+    assert [h.serialize() for h in light_node.headers] == [
+        h.serialize() for h in lvq_system.headers()
+    ]
+
+
+def test_compressed_transport_requires_known_codec():
+    with pytest.raises(EncodingError):
+        CompressedTransport(codec="lz4")
+    if not HAVE_ZSTD:
+        with pytest.raises(EncodingError):
+            CompressedTransport(codec="zstd")
+
+
+# ---------------------------------------------------------------------------
+# chaos spot-run: faults land on compressed bytes
+
+
+def _mangling_schedule(seed):
+    rng = random.Random(seed)
+    rules = []
+    for _ in range(rng.randrange(1, 4)):
+        kind = rng.choice(
+            [FaultKind.CORRUPT, FaultKind.TRUNCATE, FaultKind.DROP]
+        )
+        rules.append(
+            FaultRule(
+                kind,
+                direction=rng.choice(("both", "to_server", "to_client")),
+                probability=rng.uniform(0.1, 0.5),
+                param=rng.randrange(1, 6) if kind is FaultKind.CORRUPT else None,
+            )
+        )
+    return FaultSchedule(rules, seed=rng.randrange(1 << 30))
+
+
+@pytest.mark.parametrize("index", range(12))
+def test_chaos_spot_run_over_compressed_transport(
+    lvq_system, probe_addresses, index
+):
+    """PR 2 invariant, codec-stacked: corrupt/truncate on *compressed*
+    frames still yields baseline-equal history or a typed error."""
+    rng = random.Random(20200806 + index)
+    clock = SimulatedClock()
+    address = probe_addresses[rng.choice(("Addr2", "Addr4", "Addr5", "Addr6"))]
+
+    baseline_history = LightNode(
+        lvq_system.headers(), lvq_system.config
+    ).query_history(FullNode(lvq_system), address)
+    expected = [(h, t.txid()) for h, t in baseline_history.transactions]
+
+    def chaotic_compressed():
+        return CompressedTransport(
+            inner=FaultyTransport(
+                schedule=_mangling_schedule(rng.randrange(1 << 30)),
+                clock=clock,
+            )
+        )
+
+    peers = [
+        Peer("flaky", FullNode(lvq_system), transport_factory=chaotic_compressed)
+    ]
+    if index % 2:
+        liar = MaliciousFullNode(
+            lvq_system, ALL_ATTACKS[rng.choice(sorted(ALL_ATTACKS))]
+        )
+        peers.append(Peer("liar", liar, transport_factory=chaotic_compressed))
+    # A clean compressed peer keeps half the scenarios satisfiable.
+    peers.append(
+        Peer(
+            "honest",
+            FullNode(lvq_system),
+            transport_factory=CompressedTransport,
+        )
+    )
+    rng.shuffle(peers)
+
+    session = QuerySession(
+        LightNode(lvq_system.headers(), lvq_system.config),
+        peers,
+        clock=clock,
+        request_timeout=5.0,
+        retry=RetryPolicy(max_rounds=4, base_delay=0.05, max_delay=0.5),
+        quarantine_base=0.05,
+        seed=rng.randrange(1 << 30),
+    )
+    try:
+        history = session.query(address)
+    except ReproError:
+        pass  # typed denial — allowed under mangling faults
+    else:
+        assert [(h, t.txid()) for h, t in history.transactions] == expected

@@ -95,6 +95,81 @@ def test_add_block_enforces_height_order():
         index.add_block(0, workload.bodies[0])
 
 
+def test_forced_short_id_collisions_stay_exact(monkeypatch):
+    """With every address colliding on one short id, lookups must still
+    be exact — the intern table pins one owner, everyone else overflows."""
+    import repro.query.index as index_module
+
+    monkeypatch.setattr(index_module, "short_id", lambda address: 42)
+    workload = generate_workload(
+        WorkloadParams(num_blocks=20, txs_per_block=6, seed=7)
+    )
+    index = AddressIndex()
+    for height, transactions in enumerate(workload.bodies):
+        index.add_block(height, transactions)
+
+    addresses = _all_addresses(workload.bodies)
+    for address in addresses:
+        assert index.occurrences(address) == _brute_force_postings(
+            workload.bodies, address
+        )
+        assert address in index
+    assert index.num_addresses == len(addresses)
+    assert set(index.addresses()) == addresses
+    assert index.occurrences("never-seen") == []
+    assert "never-seen" not in index
+
+
+def test_collision_rollback_preserves_ownership(monkeypatch):
+    """Rolling the owner's postings to zero must not let a collision
+    loser capture the short id on re-insert."""
+    import repro.query.index as index_module
+
+    monkeypatch.setattr(index_module, "short_id", lambda address: 7)
+    workload = generate_workload(
+        WorkloadParams(num_blocks=12, txs_per_block=6, seed=3)
+    )
+    index = AddressIndex()
+    for height, transactions in enumerate(workload.bodies):
+        index.add_block(height, transactions)
+    # Roll everything out, then replay: postings must come back exact.
+    index.rollback_to(-1)
+    assert index.num_postings == 0
+    for height, transactions in enumerate(workload.bodies):
+        index.add_block(height, transactions)
+    for address in _all_addresses(workload.bodies):
+        assert index.occurrences(address) == _brute_force_postings(
+            workload.bodies, address
+        )
+
+
+def test_partial_rollback_under_collisions(monkeypatch):
+    import repro.query.index as index_module
+
+    monkeypatch.setattr(index_module, "short_id", lambda address: 1)
+    workload = generate_workload(
+        WorkloadParams(num_blocks=16, txs_per_block=6, seed=9)
+    )
+    full = AddressIndex()
+    for height, transactions in enumerate(workload.bodies):
+        full.add_block(height, transactions)
+    full.rollback_to(7)
+    truth = AddressIndex()
+    for height, transactions in enumerate(workload.bodies[:8]):
+        truth.add_block(height, transactions)
+    assert full.num_postings == truth.num_postings
+    for address in _all_addresses(workload.bodies):
+        assert full.occurrences(address) == truth.occurrences(address)
+
+
+def test_tx_index_field_overflow_is_typed():
+    from repro.query.index import _TX_MASK, _pack
+
+    assert _pack(3, _TX_MASK) == (3 << 20) | _TX_MASK
+    with pytest.raises(ChainError):
+        _pack(0, _TX_MASK + 1)
+
+
 def test_incremental_append_matches_bulk_build(workload):
     """append_block keeps the index identical to a one-shot build."""
     config = SystemConfig.lvq(bf_bytes=96, segment_len=8)

@@ -123,4 +123,14 @@ class TestSizeAccounting:
     def test_as_dict_keys(self, lvq_system, probe_addresses):
         result = answer_query(lvq_system, probe_addresses["Addr1"])
         sizes = result.breakdown(lvq_system.config).as_dict()
-        assert set(sizes) == {"bf", "bmt", "smt", "mt", "tx", "ib", "framing", "total"}
+        assert set(sizes) == {
+            "bf", "bmt", "smt", "mt", "tx", "ib", "framing", "total",
+            "aggregated", "compressed",
+        }
+
+    def test_wire_sizes_populated(self, lvq_system, probe_addresses):
+        """The §8.1/§8.3 wire sizes ride along in every breakdown."""
+        result = answer_query(lvq_system, probe_addresses["Addr6"])
+        sizes = result.breakdown(lvq_system.config)
+        assert 0 < sizes.compressed_bytes <= sizes.aggregated_bytes
+        assert sizes.aggregated_bytes < sizes.total_bytes * 1.02
