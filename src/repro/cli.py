@@ -9,8 +9,11 @@ chain (sizes/seeds configurable):
 * ``attack``   — run the §VI adversary suite and show every rejection;
 * ``segments`` — print merge sets / segment division (Tables I & II).
 
-Plus one operational tool: ``verify-store <dir>`` fscks a durable chain
-store (exit 0 clean / 1 corrupt, reporting the first bad record offset).
+Plus two operational tools: ``verify-store <dir>`` fscks a durable chain
+store (exit 0 clean / 1 corrupt, reporting the first bad record offset),
+and ``serve`` runs a full node as a TCP daemon (PROTOCOL.md §9) with
+graceful drain on SIGTERM; ``query --connect HOST:PORT`` points the
+query client at such a daemon instead of an in-process node.
 """
 
 from __future__ import annotations
@@ -90,8 +93,18 @@ def cmd_query(args) -> int:
         bf_bytes=args.bf_bytes * 3, segment_len=_segment_len(args)
     )
     system = build_system(workload.bodies, config)
-    full_node = FullNode(system)
-    light_node = LightNode.from_full_node(full_node)
+    local_node = FullNode(system)
+    light_node = LightNode.from_full_node(local_node)
+
+    if args.connect:
+        # Same synthetic chain parameters as the daemon → same trusted
+        # headers; the *answer* comes over the socket and is verified.
+        from repro.node.netclient import RemoteFullNode
+
+        host, _, port = args.connect.rpartition(":")
+        full_node = RemoteFullNode((host or "127.0.0.1", int(port)))
+    else:
+        full_node = local_node
 
     if args.address in workload.probe_addresses:
         address = workload.probe_addresses[args.address]
@@ -102,7 +115,13 @@ def cmd_query(args) -> int:
     if args.range:
         first, last = args.range
         kwargs = {"first_height": first, "last_height": last}
-    history = light_node.query_history(full_node, address, transport, **kwargs)
+    try:
+        history = light_node.query_history(
+            full_node, address, transport, **kwargs
+        )
+    finally:
+        if args.connect:
+            full_node.close()
 
     print(f"address       : {address}")
     print(f"transactions  : {len(history.transactions)}")
@@ -110,7 +129,7 @@ def cmd_query(args) -> int:
     print(f"balance (Eq 1): {history.balance():,}")
     print(f"BMT endpoints : {history.num_endpoints}")
     print(f"proof bytes   : {transport.stats.bytes_to_client:,}")
-    sizes = full_node.query(address, **kwargs).breakdown(config)
+    sizes = local_node.query(address, **kwargs).breakdown(config)
     print(f"raw result    : {sizes.total_bytes:,}")
     print(f"wire (agg)    : {sizes.aggregated_bytes:,}")
     print(f"wire (agg+z)  : {sizes.compressed_bytes:,}")
@@ -264,6 +283,59 @@ def cmd_verify_store(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    """Run a full node as a TCP daemon until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+
+    from repro.node.net import NetServer
+    from repro.node.server import QueryServer
+
+    workload = _workload(args)
+    config = SystemConfig.lvq(
+        bf_bytes=args.bf_bytes * 3, segment_len=_segment_len(args)
+    )
+    system = build_system(workload.bodies, config)
+    query_server = QueryServer(
+        FullNode(system),
+        num_workers=args.workers,
+        max_pending=args.max_pending,
+    )
+    server = NetServer(
+        query_server,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        idle_timeout=args.idle_timeout,
+        read_timeout=args.read_timeout,
+        write_timeout=args.write_timeout,
+    )
+    server.start()
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    # Parseable by scripts/tests: the kernel picks the port when 0.
+    print(f"serving on {server.host}:{server.port}", flush=True)
+    print(
+        f"  chain: {args.blocks} blocks, tip height {system.tip_height}",
+        flush=True,
+    )
+    try:
+        stop.wait()
+    finally:
+        print("draining...", flush=True)
+        server.close(drain=True, timeout=args.drain_timeout)
+        query_server.close(drain=True, timeout=args.drain_timeout)
+        stats = server.stats.as_dict()
+        print(
+            f"served {stats['frames_in']} frames over "
+            f"{stats['connections_accepted']} connections "
+            f"({stats['bytes_in']:,}B in, {stats['bytes_out']:,}B out)",
+            flush=True,
+        )
+    return 0
+
+
 def cmd_segments(args) -> int:
     print("Table I — merge sets (M = 4096):")
     print(
@@ -302,7 +374,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict the query to a height range",
     )
     query.add_argument("--verbose", action="store_true")
+    query.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="query a running `repro serve` daemon instead of in-process",
+    )
     query.set_defaults(func=cmd_query)
+
+    serve = sub.add_parser(
+        "serve", help="run a full node as a TCP daemon (PROTOCOL.md §9)"
+    )
+    _add_chain_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 = kernel-assigned"
+    )
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--max-pending", type=int, default=64)
+    serve.add_argument("--max-connections", type=int, default=64)
+    serve.add_argument("--idle-timeout", type=float, default=30.0)
+    serve.add_argument("--read-timeout", type=float, default=10.0)
+    serve.add_argument("--write-timeout", type=float, default=10.0)
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="grace period for in-flight requests on shutdown",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     compare = sub.add_parser("compare", help="Fig-12-style size comparison")
     _add_chain_arguments(compare)

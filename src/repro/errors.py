@@ -89,8 +89,35 @@ class ServerOverloadedError(QueryError):
         }
 
 
+class ConnectionLimitError(QueryError):
+    """A network server refused a new connection at its concurrency gate.
+
+    Sent as a typed error frame before the server closes the socket, so
+    a client can tell "the node is saturated, back off and retry" apart
+    from a dead or misbehaving peer.
+
+    * ``active`` — connections already being served at rejection.
+    * ``max_connections`` — the configured gate.
+    """
+
+    def __init__(self, active: int, max_connections: int) -> None:
+        super().__init__(
+            f"connection limit reached: {active} active "
+            f"(bound {max_connections})"
+        )
+        self.active = active
+        self.max_connections = max_connections
+
+    def details(self) -> "dict[str, object]":
+        return {
+            "kind": type(self).__name__,
+            "active": self.active,
+            "max_connections": self.max_connections,
+        }
+
+
 class TransportError(ReproError):
-    """Simulated network failure (closed transport, oversized message)."""
+    """Network failure (closed transport, oversized message, dead link)."""
 
 
 class QueryTimeoutError(TransportError):

@@ -1,5 +1,6 @@
 """Simulated full/light nodes, the byte-counting transport between them,
-and the chaos layer (fault injection + resilient multi-peer sessions)."""
+the chaos layer (fault injection + resilient multi-peer sessions), and
+the real TCP transport (asyncio server + reconnecting client pool)."""
 
 from repro.node.messages import QueryRequest, QueryResponse, HeadersRequest, HeadersResponse
 from repro.node.transport import (
@@ -26,6 +27,17 @@ from repro.node.session import (
     RetryPolicy,
     SessionStats,
 )
+from repro.node.net import (
+    EventLoopThread,
+    NetServer,
+    NetServerStats,
+    SocketFaultInjector,
+)
+from repro.node.netclient import (
+    ClientConnection,
+    ConnectionPool,
+    RemoteFullNode,
+)
 
 __all__ = [
     "QueryRequest",
@@ -50,4 +62,11 @@ __all__ = [
     "QuerySession",
     "RetryPolicy",
     "SessionStats",
+    "EventLoopThread",
+    "NetServer",
+    "NetServerStats",
+    "SocketFaultInjector",
+    "ClientConnection",
+    "ConnectionPool",
+    "RemoteFullNode",
 ]

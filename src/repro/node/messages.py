@@ -28,6 +28,9 @@ _MSG_DELTA_HEADERS_REQUEST = 7
 _MSG_DELTA_HEADERS_RESPONSE = 8
 _MSG_AGG_BATCH_REQUEST = 9
 _MSG_AGG_BATCH_RESPONSE = 10
+_MSG_ERROR = 11
+_MSG_PING = 12
+_MSG_PONG = 13
 
 
 def _zigzag(n: int) -> int:
@@ -374,6 +377,138 @@ class AggregatedBatchResponse:
         if not payload or payload[0] != cls.type_tag:
             raise EncodingError("not an aggregated batch response")
         return cls(decode_aggregated_batch(payload[1:], config))
+
+
+class ErrorResponse:
+    """Server → client: a typed failure instead of a result frame (§9).
+
+    In-process, a handler failure propagates as a Python exception; over
+    a socket it must take a wire form.  ``kind`` names the exception
+    class (from :mod:`repro.errors`), ``message`` is its text, and
+    ``params`` carries kind-specific non-negative integers (queue depth
+    and bound for ``ServerOverloadedError``, active count and gate for
+    ``ConnectionLimitError``) so the client can rebuild the exact typed
+    error that peer scoring and retry machinery already classify.
+    """
+
+    __slots__ = ("kind", "message", "params")
+
+    type_tag = _MSG_ERROR
+
+    def __init__(
+        self, kind: str, message: str, params: "tuple[int, ...]" = ()
+    ) -> None:
+        if not kind:
+            raise EncodingError("error frame needs a kind")
+        params = tuple(int(value) for value in params)
+        if any(value < 0 for value in params):
+            raise EncodingError(f"negative error param in {params}")
+        self.kind = kind
+        self.message = message
+        self.params = params
+
+    @classmethod
+    def from_exception(cls, error: Exception) -> "ErrorResponse":
+        from repro.errors import ConnectionLimitError, ServerOverloadedError
+
+        params: "tuple[int, ...]" = ()
+        if isinstance(error, ServerOverloadedError):
+            params = (error.pending, error.max_pending)
+        elif isinstance(error, ConnectionLimitError):
+            params = (error.active, error.max_connections)
+        return cls(type(error).__name__, str(error), params)
+
+    def serialize(self) -> bytes:
+        parts = [
+            bytes([self.type_tag]),
+            write_var_bytes(self.kind.encode("utf-8")),
+            write_var_bytes(self.message.encode("utf-8")),
+            write_varint(len(self.params)),
+        ]
+        parts.extend(write_varint(value) for value in self.params)
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "ErrorResponse":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        kind = _utf8(reader.var_bytes())
+        message = _utf8(reader.var_bytes())
+        count = reader.varint()
+        if count > 16:
+            raise EncodingError(f"implausible error param count {count}")
+        params = tuple(reader.varint() for _ in range(count))
+        reader.finish()
+        return cls(kind, message, params)
+
+    def __repr__(self) -> str:
+        return f"ErrorResponse({self.kind}: {self.message!r})"
+
+
+class PingRequest:
+    """Client → server: liveness/health probe, answered inline (§9.4).
+
+    The net server replies without queueing a worker, so a pong proves
+    the event loop is alive even when the query queue is saturated.
+    ``nonce`` is echoed back, binding each pong to its ping.
+    """
+
+    __slots__ = ("nonce",)
+
+    type_tag = _MSG_PING
+
+    def __init__(self, nonce: int = 0) -> None:
+        if nonce < 0:
+            raise EncodingError(f"negative ping nonce {nonce}")
+        self.nonce = nonce
+
+    def serialize(self) -> bytes:
+        return bytes([self.type_tag]) + write_varint(self.nonce)
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "PingRequest":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        nonce = reader.varint()
+        reader.finish()
+        return cls(nonce)
+
+
+class PongResponse:
+    """Server → client: ping echo plus the served chain's tip height.
+
+    The tip lets a pooled client learn the peer's height without paying
+    for a header sync — it is *advisory* (nothing about it is verified);
+    any data derived from it still goes through the usual proof checks.
+    """
+
+    __slots__ = ("nonce", "tip_height")
+
+    type_tag = _MSG_PONG
+
+    def __init__(self, nonce: int, tip_height: int) -> None:
+        if nonce < 0 or tip_height < 0:
+            raise EncodingError(
+                f"negative pong fields ({nonce}, {tip_height})"
+            )
+        self.nonce = nonce
+        self.tip_height = tip_height
+
+    def serialize(self) -> bytes:
+        return (
+            bytes([self.type_tag])
+            + write_varint(self.nonce)
+            + write_varint(self.tip_height)
+        )
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "PongResponse":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        nonce = reader.varint()
+        tip_height = reader.varint()
+        reader.finish()
+        return cls(nonce, tip_height)
 
 
 def _expect_tag(reader: ByteReader, tag: int) -> None:

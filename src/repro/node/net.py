@@ -1,0 +1,722 @@
+"""Length-framed asyncio TCP serving for the query protocol (PROTOCOL.md §9).
+
+Everything before this module exchanged frames through a function call;
+this is the piece that puts them on a real socket.  The wire format is
+deliberately minimal — a 4-byte big-endian length prefix followed by one
+existing wire-tag frame (tags 1–13, or a FRAME_ZLIB/FRAME_ZSTD
+compressed frame) — so every byte after the prefix is already covered by
+the strictness and chaos suites.
+
+* :class:`NetServer` — serves a :class:`~repro.node.server.QueryServer`
+  (or a bare :class:`~repro.node.full_node.FullNode`) over TCP with
+  per-connection read/write deadlines, idle-connection reaping, a
+  max-concurrent-connections gate that rejects with a typed
+  :class:`~repro.errors.ConnectionLimitError` frame, graceful drain, and
+  an :meth:`NetServer.abort` hard-kill for crash testing.  Handler
+  failures cross the wire as :class:`~repro.node.messages.ErrorResponse`
+  frames, so the client rebuilds the same typed exceptions the
+  in-process path raises.
+* :class:`SocketFaultInjector` — a frame-aware man-in-the-middle proxy
+  speaking the same FaultSchedule language as PR 2's
+  :class:`~repro.node.faults.FaultyTransport`, but with the faults
+  realized at the socket layer: connection reset (RST), mid-frame
+  stall, partial write followed by an abrupt FIN, byte corruption,
+  frame swallowing, duplication and reordering.
+
+The event loop runs on a dedicated daemon thread
+(:class:`EventLoopThread`), so synchronous code — tests, the CLI, the
+thread-based :class:`~repro.node.server.QueryServer` — drives servers
+without owning an asyncio loop; many servers can share one loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import threading
+from typing import Optional, Set, Tuple
+
+from repro.errors import (
+    ConnectionLimitError,
+    EncodingError,
+    QueryError,
+    ReproError,
+)
+from repro.node import messages as _messages
+from repro.node.faults import FaultKind, FaultSchedule
+from repro.node.server import _DISPATCH
+from repro.node.transport import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FRAME_ZLIB,
+    FRAME_ZSTD,
+    compress_frame,
+    decompress_frame,
+)
+
+#: Frame header: payload length, 4-byte big-endian, length >= 1.
+FRAME_HEADER = struct.Struct(">I")
+
+
+class EventLoopThread:
+    """An asyncio loop on a daemon thread, driven from synchronous code."""
+
+    def __init__(self, name: str = "repro-net-loop") -> None:
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+        self._started = threading.Event()
+        self._thread.start()
+        self._started.wait()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.call_soon(self._started.set)
+        self.loop.run_forever()
+
+    def call(self, coroutine, timeout: Optional[float] = None):
+        """Run ``coroutine`` on the loop; block for (and return) its result."""
+        future = asyncio.run_coroutine_threadsafe(coroutine, self.loop)
+        return future.result(timeout)
+
+    def stop(self) -> None:
+        if not self.loop.is_closed():
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self._thread.join(timeout=5.0)
+            self.loop.close()
+
+
+class NetServerStats:
+    """Connection- and frame-level counters for one :class:`NetServer`."""
+
+    __slots__ = (
+        "connections_accepted",
+        "connections_rejected",
+        "connections_reaped",
+        "deadline_closes",
+        "frames_in",
+        "frames_out",
+        "bytes_in",
+        "bytes_out",
+        "errors_sent",
+        "pings",
+    )
+
+    def __init__(self) -> None:
+        self.connections_accepted = 0
+        self.connections_rejected = 0
+        self.connections_reaped = 0
+        self.deadline_closes = 0
+        self.frames_in = 0
+        self.frames_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.errors_sent = 0
+        self.pings = 0
+
+    def as_dict(self) -> "dict[str, int]":
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _Target:
+    """Adapts a QueryServer (worker pool) or bare FullNode to one
+    ``serve(payload) -> bytes`` coroutine."""
+
+    __slots__ = ("query_server", "node")
+
+    def __init__(self, target) -> None:
+        if hasattr(target, "submit"):
+            self.query_server = target
+            self.node = target.node
+        else:
+            self.query_server = None
+            self.node = target
+
+    @property
+    def tip_height(self) -> int:
+        return self.node.tip_height
+
+    async def serve(self, payload: bytes) -> bytes:
+        if self.query_server is not None:
+            # submit() raises synchronously on overload/unknown tag; the
+            # caller turns either into a typed error frame.
+            future = self.query_server.submit(payload)
+            return await asyncio.wrap_future(future)
+        if not payload:
+            raise QueryError("empty request payload")
+        handler_name = _DISPATCH.get(payload[0])
+        if handler_name is None:
+            raise QueryError(f"unknown request tag {payload[0]}")
+        handler = getattr(self.node, handler_name)
+        return await asyncio.get_running_loop().run_in_executor(
+            None, handler, payload
+        )
+
+
+class NetServer:
+    """One node served over loopback/LAN TCP with defensive deadlines.
+
+    ``target`` is a :class:`~repro.node.server.QueryServer` (requests go
+    through its bounded queue and worker pool, so overload surfaces as a
+    typed :class:`~repro.errors.ServerOverloadedError` frame) or a bare
+    :class:`~repro.node.full_node.FullNode` (requests run on the loop's
+    default executor — the lightweight shape the chaos matrix uses).
+
+    Deadline semantics (PROTOCOL.md §9.3):
+
+    * **idle** — a connection that sends no new frame header within
+      ``idle_timeout`` is reaped;
+    * **read** — once a frame has started, the rest of it must arrive
+      within ``read_timeout``, else the connection is closed (a stalled
+      or half-delivered frame cannot be resynchronized);
+    * **write** — a response that cannot be flushed within
+      ``write_timeout`` closes the connection (slow-consumer guard).
+
+    The concurrency gate: at most ``max_connections`` connections are
+    served; beyond that the server answers a single
+    :class:`~repro.errors.ConnectionLimitError` frame and closes.
+    """
+
+    def __init__(
+        self,
+        target,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = 64,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        idle_timeout: float = 30.0,
+        read_timeout: float = 10.0,
+        write_timeout: float = 10.0,
+        loop_thread: Optional[EventLoopThread] = None,
+    ) -> None:
+        if max_connections < 1:
+            raise ValueError(f"need at least 1 connection, {max_connections}")
+        if max_frame_bytes < 1:
+            raise ValueError(f"bad frame limit {max_frame_bytes}")
+        self._target = _Target(target)
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.max_frame_bytes = max_frame_bytes
+        self.idle_timeout = idle_timeout
+        self.read_timeout = read_timeout
+        self.write_timeout = write_timeout
+        self.stats = NetServerStats()
+        self._owns_loop = loop_thread is None
+        self._loop_thread = loop_thread
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._tasks: Set[asyncio.Task] = set()
+        self._active = 0
+        self._busy = 0
+        self._draining = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — valid after :meth:`start`."""
+        return (self.host, self.port)
+
+    def start(self) -> "NetServer":
+        if self._loop_thread is None:
+            self._loop_thread = EventLoopThread()
+        self._loop_thread.call(self._start())
+        return self
+
+    async def _start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+
+    def close(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop accepting; optionally let in-flight frames finish first."""
+        if self._closed or self._loop_thread is None:
+            return
+        self._closed = True
+        self._loop_thread.call(self._close(drain, timeout))
+        if self._owns_loop:
+            self._loop_thread.stop()
+
+    async def _close(self, drain: bool, timeout: float) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        if drain:
+            deadline = asyncio.get_running_loop().time() + timeout
+            while self._busy and asyncio.get_running_loop().time() < deadline:
+                await asyncio.sleep(0.002)
+        for writer in list(self._writers):
+            writer.close()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    def abort(self) -> None:
+        """Kill the server *now*: every live connection is reset without
+        flushing — the crash the kill-mid-request harness injects."""
+        if self._loop_thread is None:
+            return
+        self._closed = True
+        self._loop_thread.call(self._abort())
+        if self._owns_loop:
+            self._loop_thread.stop()
+
+    async def _abort(self) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            writer.transport.abort()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    def __enter__(self) -> "NetServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close(drain=True)
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._draining or self._active >= self.max_connections:
+            self.stats.connections_rejected += 1
+            error = ConnectionLimitError(self._active, self.max_connections)
+            try:
+                await self._write_frame(
+                    writer, _messages.ErrorResponse.from_exception(error).serialize()
+                )
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                pass
+            writer.close()
+            return
+        self._active += 1
+        self.stats.connections_accepted += 1
+        self._writers.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass  # close()/abort() tearing the connection down
+        finally:
+            self._active -= 1
+            self._writers.discard(writer)
+            if task is not None:
+                self._tasks.discard(task)
+            writer.close()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while not self._draining:
+            # Idle deadline: arm it on the *first* byte of the next
+            # frame's header; a quiet connection is reaped, a started
+            # frame falls under the stricter read deadline below.
+            try:
+                first = await asyncio.wait_for(
+                    reader.readexactly(1), self.idle_timeout
+                )
+            except asyncio.TimeoutError:
+                self.stats.connections_reaped += 1
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return  # clean EOF or client went away between frames
+            try:
+                rest = await asyncio.wait_for(
+                    reader.readexactly(FRAME_HEADER.size - 1),
+                    self.read_timeout,
+                )
+                (length,) = FRAME_HEADER.unpack(first + rest)
+                if length == 0 or length > self.max_frame_bytes:
+                    self.stats.errors_sent += 1
+                    await self._write_frame(
+                        writer,
+                        _messages.ErrorResponse.from_exception(
+                            EncodingError(
+                                f"frame of {length} bytes outside "
+                                f"[1, {self.max_frame_bytes}]"
+                            )
+                        ).serialize(),
+                    )
+                    return  # framing can't be trusted past this point
+                frame = await asyncio.wait_for(
+                    reader.readexactly(length), self.read_timeout
+                )
+            except asyncio.TimeoutError:
+                self.stats.deadline_closes += 1
+                return  # mid-frame stall: no way to resync, drop the link
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return
+            self.stats.frames_in += 1
+            self.stats.bytes_in += FRAME_HEADER.size + length
+            self._busy += 1
+            try:
+                response = await self._serve_frame(frame)
+            finally:
+                self._busy -= 1
+            try:
+                await self._write_frame(writer, response)
+            except asyncio.TimeoutError:
+                self.stats.deadline_closes += 1
+                return
+            except (ConnectionError, OSError):
+                return
+
+    async def _serve_frame(self, frame: bytes) -> bytes:
+        """One request frame → one response frame, errors included.
+
+        Compression is negotiated per frame by mirroring: a request that
+        arrived compressed gets its response compressed with the same
+        codec (§9.5); plain requests get plain responses.
+        """
+        codec: Optional[str] = None
+        try:
+            if frame and frame[0] in (FRAME_ZLIB, FRAME_ZSTD):
+                codec = "zstd" if frame[0] == FRAME_ZSTD else "zlib"
+                payload = decompress_frame(frame, self.max_frame_bytes)
+            else:
+                payload = frame
+            if payload and payload[0] == _messages.PingRequest.type_tag:
+                ping = _messages.PingRequest.deserialize(payload)
+                self.stats.pings += 1
+                response = _messages.PongResponse(
+                    ping.nonce, self._target.tip_height
+                ).serialize()
+            else:
+                response = await self._target.serve(payload)
+        except ReproError as error:
+            self.stats.errors_sent += 1
+            response = _messages.ErrorResponse.from_exception(error).serialize()
+        except Exception as error:  # noqa: BLE001 - never leak a raw crash
+            self.stats.errors_sent += 1
+            response = _messages.ErrorResponse(
+                "TransportError",
+                f"internal server error: {type(error).__name__}",
+            ).serialize()
+        if codec is not None:
+            try:
+                response = compress_frame(
+                    response, codec, max_frame_bytes=self.max_frame_bytes
+                )
+            except EncodingError as error:
+                self.stats.errors_sent += 1
+                response = _messages.ErrorResponse.from_exception(
+                    error
+                ).serialize()
+        if len(response) > self.max_frame_bytes:
+            # Symmetric send-side cap: never put a frame on the wire the
+            # peer is required to reject.
+            self.stats.errors_sent += 1
+            response = _messages.ErrorResponse.from_exception(
+                EncodingError(
+                    f"response of {len(response)} bytes exceeds the "
+                    f"{self.max_frame_bytes}-byte frame limit"
+                )
+            ).serialize()
+        return response
+
+    async def _write_frame(
+        self, writer: asyncio.StreamWriter, frame: bytes
+    ) -> None:
+        writer.write(FRAME_HEADER.pack(len(frame)) + frame)
+        await asyncio.wait_for(writer.drain(), self.write_timeout)
+        self.stats.frames_out += 1
+        self.stats.bytes_out += FRAME_HEADER.size + len(frame)
+
+    def __repr__(self) -> str:
+        return (
+            f"NetServer({self.host}:{self.port}, "
+            f"active={self._active}/{self.max_connections})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# socket-layer chaos
+
+
+def _reset_connection(writer: asyncio.StreamWriter) -> None:
+    """Abort with an RST where the platform allows it — the peer sees a
+    connection reset, not an orderly FIN."""
+    import socket as _socket
+
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(
+                _socket.SOL_SOCKET,
+                _socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+        except OSError:
+            pass
+    writer.transport.abort()
+
+
+class SocketFaultInjector:
+    """A frame-aware chaos proxy between a client and a real server.
+
+    Listens on its own loopback port and forwards length-framed traffic
+    to ``target``; every frame in either direction is run through a PR 2
+    :class:`~repro.node.faults.FaultSchedule` — the same rule language
+    the in-process :class:`~repro.node.faults.FaultyTransport` speaks,
+    realized at the socket layer:
+
+    =============  ========================================================
+    ``DELAY``      mid-frame stall: half the frame, a real sleep of
+                   ``param * delay_scale`` seconds, then the rest
+    ``DROP``       the frame is swallowed; the receiver waits in silence
+    ``TRUNCATE``   partial write: the header claims the full length but
+                   only a prefix is sent, then an abrupt FIN
+    ``CORRUPT``    ``param`` bytes of the frame body flipped in place
+    ``CLOSE``      connection reset (RST) after ``param`` payload bytes
+    ``DUPLICATE``  the frame is delivered twice
+    ``REORDER``    delivered after the next frame in that direction
+    =============  ========================================================
+
+    Faults drawn from the shared schedule advance the same message
+    counter and RNG as the in-process wrapper, so a scripted schedule
+    stays a deterministic script whichever layer executes it.
+    """
+
+    def __init__(
+        self,
+        target: Tuple[str, int],
+        schedule: Optional[FaultSchedule] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        delay_scale: float = 0.01,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        loop_thread: Optional[EventLoopThread] = None,
+    ) -> None:
+        self.target = target
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        self.host = host
+        self.port = port
+        self.delay_scale = delay_scale
+        self.max_frame_bytes = max_frame_bytes
+        self._owns_loop = loop_thread is None
+        self._loop_thread = loop_thread
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._held: "dict[str, Optional[bytes]]" = {
+            "to_server": None,
+            "to_client": None,
+        }
+        self._closed = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def start(self) -> "SocketFaultInjector":
+        if self._loop_thread is None:
+            self._loop_thread = EventLoopThread("repro-chaos-proxy")
+        self._loop_thread.call(self._start())
+        return self
+
+    async def _start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+
+    def close(self) -> None:
+        if self._closed or self._loop_thread is None:
+            return
+        self._closed = True
+        self._loop_thread.call(self._shutdown())
+        if self._owns_loop:
+            self._loop_thread.stop()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._writers):
+            writer.transport.abort()
+
+    def __enter__(self) -> "SocketFaultInjector":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- pumps -------------------------------------------------------------
+
+    async def _handle(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            server_reader, server_writer = await asyncio.open_connection(
+                *self.target
+            )
+        except OSError:
+            client_writer.transport.abort()
+            return
+        self._writers.add(client_writer)
+        self._writers.add(server_writer)
+        try:
+            await asyncio.gather(
+                self._pump(
+                    "to_server", client_reader, server_writer, client_writer
+                ),
+                self._pump(
+                    "to_client", server_reader, client_writer, server_writer
+                ),
+                return_exceptions=True,
+            )
+        finally:
+            for writer in (client_writer, server_writer):
+                self._writers.discard(writer)
+                writer.close()
+
+    async def _pump(
+        self,
+        direction: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        back_writer: asyncio.StreamWriter,
+    ) -> None:
+        """Forward frames one way, applying the fault schedule."""
+        while True:
+            try:
+                header = await reader.readexactly(FRAME_HEADER.size)
+                (length,) = FRAME_HEADER.unpack(header)
+                if length == 0 or length > self.max_frame_bytes:
+                    # Not a frame we can reason about: sever the link.
+                    writer.transport.abort()
+                    back_writer.transport.abort()
+                    return
+                frame = await reader.readexactly(length)
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                OSError,
+            ):
+                # One side went away: propagate the close to the other.
+                writer.close()
+                return
+            try:
+                alive = await self._deliver(direction, frame, writer, back_writer)
+            except (ConnectionError, OSError):
+                return
+            if not alive:
+                return
+
+    async def _deliver(
+        self,
+        direction: str,
+        frame: bytes,
+        writer: asyncio.StreamWriter,
+        back_writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Apply drawn faults to one frame; False ends this connection."""
+        rules = self.schedule.draw(direction)
+        rng = self.schedule.rng()
+        stall: Optional[float] = None
+        for rule in rules:
+            kind = rule.kind
+            self.schedule.count(kind)
+            if kind is FaultKind.DELAY:
+                stall = (
+                    rule.param if rule.param is not None else 1.0
+                ) * self.delay_scale
+            elif kind is FaultKind.CLOSE:
+                delivered = (
+                    int(rule.param)
+                    if rule.param is not None
+                    else rng.randrange(0, len(frame) + 1)
+                )
+                delivered = max(0, min(delivered, len(frame)))
+                writer.write(
+                    FRAME_HEADER.pack(len(frame)) + frame[:delivered]
+                )
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+                _reset_connection(writer)
+                _reset_connection(back_writer)
+                return False
+            elif kind is FaultKind.DROP:
+                return True  # swallowed; the receiver hears silence
+            elif kind is FaultKind.TRUNCATE:
+                cut = (
+                    int(rule.param)
+                    if rule.param is not None
+                    else rng.randrange(0, max(len(frame), 1))
+                )
+                cut = max(0, min(cut, max(len(frame) - 1, 0)))
+                # Header claims the full frame; only a prefix arrives,
+                # then an orderly FIN — the "abrupt FIN mid-frame" case.
+                writer.write(FRAME_HEADER.pack(len(frame)) + frame[:cut])
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+                writer.close()
+                back_writer.close()
+                return False
+            elif kind is FaultKind.CORRUPT:
+                nbytes = int(rule.param) if rule.param is not None else 1
+                mutated = bytearray(frame)
+                for _ in range(max(1, nbytes)):
+                    position = rng.randrange(0, len(mutated))
+                    mutated[position] ^= rng.randrange(1, 256)
+                frame = bytes(mutated)
+            elif kind is FaultKind.DUPLICATE:
+                await self._forward(writer, frame, None)
+            elif kind is FaultKind.REORDER:
+                held = self._held[direction]
+                self._held[direction] = frame
+                if held is None:
+                    return True  # nothing earlier yet: hold this one
+                frame = held
+
+        await self._forward(writer, frame, stall)
+        return True
+
+    async def _forward(
+        self,
+        writer: asyncio.StreamWriter,
+        frame: bytes,
+        stall: Optional[float],
+    ) -> None:
+        payload = FRAME_HEADER.pack(len(frame)) + frame
+        if stall is not None and len(payload) > 1:
+            # Mid-frame stall: a prefix lands, then the line goes quiet.
+            split = max(1, len(payload) // 2)
+            writer.write(payload[:split])
+            await writer.drain()
+            await asyncio.sleep(stall)
+            writer.write(payload[split:])
+        else:
+            writer.write(payload)
+        await writer.drain()
+
+    def __repr__(self) -> str:
+        return (
+            f"SocketFaultInjector({self.host}:{self.port} → "
+            f"{self.target[0]}:{self.target[1]}, {self.schedule!r})"
+        )
+
+
+__all__ = [
+    "EventLoopThread",
+    "FRAME_HEADER",
+    "NetServer",
+    "NetServerStats",
+    "SocketFaultInjector",
+]

@@ -206,8 +206,12 @@ class Peer:
             self.stats.timeouts += 1
         self.consecutive_failures += 1
         self.score = max(0.01, self.score * 0.5)
+        # Clamp the exponent: a peer that fails thousands of times in a
+        # row (easy against a dead TCP endpoint) must not overflow the
+        # float power — past 2**64 the quarantine is effectively forever
+        # anyway.
         self.quarantined_until = now + quarantine_base * (
-            2.0 ** (self.consecutive_failures - 1)
+            2.0 ** min(self.consecutive_failures - 1, 64)
         )
 
     def record_verification_failure(self, error: Exception) -> None:

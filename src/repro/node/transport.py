@@ -41,9 +41,12 @@ FRAME_ZSTD = 0x11
 #: deflate overhead would only grow them.
 MIN_COMPRESS_SIZE = 64
 
-#: Upper bound on the claimed decompressed size of one frame; anything
-#: larger is treated as a decode attack, not a legitimate response.
-_MAX_RAW_FRAME = 1 << 31
+#: Default upper bound on a single frame, raw or decompressed.  Sized
+#: for a phone-class light node: big enough for any legitimate response
+#: at the evaluation scales, small enough that a lying length header
+#: cannot balloon memory.  Configurable per transport/connection and
+#: enforced symmetrically on send and receive.
+DEFAULT_MAX_FRAME_BYTES = 32 << 20
 
 _CODECS = ("zlib", "zstd")
 
@@ -56,6 +59,7 @@ class TransportStats:
         "bytes_to_client",
         "messages_to_server",
         "messages_to_client",
+        "dropped_deadlines",
     )
 
     def __init__(self) -> None:
@@ -63,6 +67,10 @@ class TransportStats:
         self.bytes_to_client = 0
         self.messages_to_server = 0
         self.messages_to_client = 0
+        #: Deadlines a wrapper could not arm because the wrapped
+        #: transport has no ``arm_timeout`` — a dropped deadline must be
+        #: visible, never a silent no-op.
+        self.dropped_deadlines = 0
 
     @property
     def total_bytes(self) -> int:
@@ -74,6 +82,7 @@ class TransportStats:
         self.bytes_to_client += other.bytes_to_client
         self.messages_to_server += other.messages_to_server
         self.messages_to_client += other.messages_to_client
+        self.dropped_deadlines += other.dropped_deadlines
         return self
 
     def as_dict(self) -> "dict[str, int]":
@@ -82,6 +91,7 @@ class TransportStats:
             "bytes_to_client": self.bytes_to_client,
             "messages_to_server": self.messages_to_server,
             "messages_to_client": self.messages_to_client,
+            "dropped_deadlines": self.dropped_deadlines,
         }
 
     def __repr__(self) -> str:
@@ -232,7 +242,10 @@ def _write_frame_varint(value: int) -> bytes:
 
 
 def compress_frame(
-    payload: bytes, codec: str = "zlib", min_size: int = MIN_COMPRESS_SIZE
+    payload: bytes,
+    codec: str = "zlib",
+    min_size: int = MIN_COMPRESS_SIZE,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
 ) -> bytes:
     """Wrap ``payload`` in a compressed frame when that actually helps.
 
@@ -240,9 +253,17 @@ def compress_frame(
     is a plain message tag) or ``[codec tag][varint raw_len][codec
     stream]``.  Frames below ``min_size``, and frames the codec fails to
     shrink, pass through untouched — negotiation is per frame, by tag.
+    A frame larger than ``max_frame_bytes`` is refused on the *send*
+    side with the same typed error the receiver would raise, so a peer
+    with a smaller limit is never fed a frame it must reject.
     """
     if codec not in _CODECS:
         raise EncodingError(f"unknown compression codec {codec!r}")
+    if len(payload) > max_frame_bytes:
+        raise EncodingError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
     if len(payload) < min_size:
         return payload
     if codec == "zstd":
@@ -257,23 +278,34 @@ def compress_frame(
     return frame
 
 
-def decompress_frame(frame: bytes) -> bytes:
+def decompress_frame(
+    frame: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> bytes:
     """Undo :func:`compress_frame`; raw frames pass through unchanged.
 
     Every failure mode — truncated stream, corrupt codec data, a length
-    header that lies, trailing garbage, an implausible claimed size, a
-    zstd frame without the library — raises :class:`EncodingError`, the
-    same typed decode failure a mangled plain frame produces.
+    header that lies, trailing garbage, a claimed size beyond
+    ``max_frame_bytes`` (the zip-bomb guard), a zstd frame without the
+    library — raises :class:`EncodingError`, the same typed decode
+    failure a mangled plain frame produces.
     """
     if not frame or frame[0] not in (FRAME_ZLIB, FRAME_ZSTD):
+        if len(frame) > max_frame_bytes:
+            raise EncodingError(
+                f"frame of {len(frame)} bytes exceeds the "
+                f"{max_frame_bytes}-byte limit"
+            )
         return frame
     from repro.crypto.encoding import ByteReader
 
     reader = ByteReader(frame)
     tag = reader.bytes(1)[0]
     raw_len = reader.varint()
-    if raw_len > _MAX_RAW_FRAME:
-        raise EncodingError(f"implausible decompressed frame size {raw_len}")
+    if raw_len > max_frame_bytes:
+        raise EncodingError(
+            f"compressed frame claims {raw_len} decompressed bytes, over "
+            f"the {max_frame_bytes}-byte limit"
+        )
     body = reader.bytes(reader.remaining)
     if tag == FRAME_ZSTD:
         if _zstd is None:
@@ -321,14 +353,20 @@ class CompressedTransport:
         inner=None,
         codec: str = "zlib",
         min_size: int = MIN_COMPRESS_SIZE,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     ) -> None:
         if codec not in _CODECS:
             raise EncodingError(f"unknown compression codec {codec!r}")
         if codec == "zstd" and _zstd is None:
             raise EncodingError("zstd codec requested but library unavailable")
+        if max_frame_bytes < 1:
+            raise EncodingError(
+                f"frame limit must be positive, got {max_frame_bytes}"
+            )
         self.inner = inner if inner is not None else InProcessTransport()
         self.codec = codec
         self.min_size = min_size
+        self.max_frame_bytes = max_frame_bytes
 
     # -- transport surface --------------------------------------------------
 
@@ -344,22 +382,37 @@ class CompressedTransport:
         self.inner.close()
 
     def arm_timeout(self, seconds: "Optional[float]") -> None:
+        """Forward the deadline to the wrapped transport.
+
+        When the inner transport cannot arm deadlines, the drop is
+        *recorded* in :attr:`TransportStats.dropped_deadlines` rather
+        than silently ignored — a socket deadline must never vanish
+        because a compression wrapper sat in the middle.
+        """
         arm = getattr(self.inner, "arm_timeout", None)
         if arm is not None:
             arm(seconds)
+        elif seconds is not None:
+            self.stats.dropped_deadlines += 1
 
     def send_to_server(self, payload: bytes) -> bytes:
         return decompress_frame(
             self.inner.send_to_server(
-                compress_frame(payload, self.codec, self.min_size)
-            )
+                compress_frame(
+                    payload, self.codec, self.min_size, self.max_frame_bytes
+                )
+            ),
+            self.max_frame_bytes,
         )
 
     def send_to_client(self, payload: bytes) -> bytes:
         return decompress_frame(
             self.inner.send_to_client(
-                compress_frame(payload, self.codec, self.min_size)
-            )
+                compress_frame(
+                    payload, self.codec, self.min_size, self.max_frame_bytes
+                )
+            ),
+            self.max_frame_bytes,
         )
 
     def __repr__(self) -> str:

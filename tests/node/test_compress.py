@@ -255,3 +255,98 @@ def test_chaos_spot_run_over_compressed_transport(
         pass  # typed denial — allowed under mangling faults
     else:
         assert [(h, t.txid()) for h, t in history.transactions] == expected
+
+
+# ---------------------------------------------------------------------------
+# frame-size limits (symmetric) and dropped-deadline accounting
+
+
+def test_frame_limit_enforced_on_send():
+    payload = b"z" * 200
+    with pytest.raises(EncodingError, match="exceeds"):
+        compress_frame(payload, max_frame_bytes=100)
+
+
+def test_frame_limit_enforced_on_receive_plain():
+    payload = b"z" * 200
+    with pytest.raises(EncodingError, match="exceeds"):
+        decompress_frame(payload, 100)
+
+
+def test_frame_limit_enforced_on_claimed_length():
+    """A zip bomb: tiny compressed frame *claiming* a huge raw size must
+    be rejected before any decompression buffer is allocated."""
+    import zlib
+
+    from repro.crypto.encoding import write_varint
+
+    bomb = bytes([FRAME_ZLIB]) + write_varint(1 << 40) + zlib.compress(b"x")
+    with pytest.raises(EncodingError, match="over"):
+        decompress_frame(bomb)
+
+
+def test_frame_limit_is_configurable_per_transport(lvq_nodes, probe_addresses):
+    from repro.node.messages import QueryRequest
+
+    full_node, _light = lvq_nodes
+    tight = CompressedTransport(max_frame_bytes=64)
+    request = QueryRequest(probe_addresses["Addr5"]).serialize()
+    # The request fits; the (much larger) response must be refused by
+    # the same limit on the other direction — symmetric enforcement.
+    framed = tight.send_to_server(request)
+    response = full_node.handle_query(decompress_frame(framed))
+    with pytest.raises(EncodingError, match="exceeds"):
+        tight.send_to_client(response)
+    with pytest.raises(EncodingError):
+        CompressedTransport(max_frame_bytes=0)
+
+
+def test_default_frame_limit_is_32mib():
+    from repro.node.transport import DEFAULT_MAX_FRAME_BYTES
+
+    assert DEFAULT_MAX_FRAME_BYTES == 32 << 20
+
+
+def test_dropped_deadline_is_recorded_not_silent():
+    """arm_timeout over an inner transport with no deadline support used
+    to be a silent no-op; it must now count in TransportStats."""
+
+    class _BareTransport:
+        def __init__(self):
+            from repro.node.transport import TransportStats
+
+            self.stats = TransportStats()
+            self.is_closed = False
+
+        def send_to_server(self, payload):
+            return payload
+
+        def send_to_client(self, payload):
+            return payload
+
+        def close(self):
+            self.is_closed = True
+
+    wrapped = CompressedTransport(inner=_BareTransport())
+    wrapped.arm_timeout(5.0)
+    wrapped.arm_timeout(1.0)
+    wrapped.arm_timeout(None)  # clearing a deadline is not a drop
+    assert wrapped.stats.dropped_deadlines == 2
+    assert wrapped.stats.as_dict()["dropped_deadlines"] == 2
+
+
+def test_armed_deadline_forwards_when_inner_supports_it():
+    inner = FaultyTransport(clock=SimulatedClock())  # has arm_timeout
+    wrapped = CompressedTransport(inner=inner)
+    wrapped.arm_timeout(3.0)
+    assert wrapped.stats.dropped_deadlines == 0
+
+
+def test_dropped_deadlines_merge_across_stats():
+    from repro.node.transport import TransportStats
+
+    first, second = TransportStats(), TransportStats()
+    first.dropped_deadlines = 2
+    second.dropped_deadlines = 3
+    first.merge(second)
+    assert first.dropped_deadlines == 5

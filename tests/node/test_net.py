@@ -1,0 +1,568 @@
+"""The TCP transport, functionally: framing, deadlines, gates, errors.
+
+Everything here runs over real loopback sockets — no mocked I/O.  The
+invariant under test is that the socket layer is *transparent*: a query
+answered over TCP is byte-identical to the in-process answer, every
+server-side failure crosses the wire as the same typed exception the
+in-process path raises, and nothing a server says can ever manufacture a
+:class:`~repro.errors.VerificationError` on the client (that class is
+reserved for proofs failing *local* checks).
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    ConnectionLimitError,
+    EncodingError,
+    QueryError,
+    RequestTimeoutError,
+    ServerOverloadedError,
+    TransportError,
+    VerificationError,
+)
+from repro.node.full_node import FullNode
+from repro.node.light_node import LightNode
+from repro.node.messages import (
+    ErrorResponse,
+    PingRequest,
+    PongResponse,
+    QueryRequest,
+)
+from repro.node.net import FRAME_HEADER, EventLoopThread, NetServer
+from repro.node.netclient import (
+    ClientConnection,
+    ConnectionPool,
+    RemoteFullNode,
+    error_from_frame,
+)
+from repro.node.server import QueryServer
+from repro.node.transport import FRAME_ZLIB, InProcessTransport
+
+
+@pytest.fixture(scope="module")
+def loop_thread():
+    """One shared event-loop thread for every server in this module."""
+    thread = EventLoopThread("test-net-loop")
+    yield thread
+    thread.stop()
+
+
+@pytest.fixture()
+def served_lvq(lvq_system, loop_thread):
+    """An LVQ full node behind a loopback NetServer."""
+    full_node = FullNode(lvq_system)
+    server = NetServer(full_node, loop_thread=loop_thread)
+    server.start()
+    yield server, full_node
+    server.close()
+
+
+def _raw_exchange(address, frame, timeout=5.0):
+    """One framed request/response on a throwaway raw socket."""
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.sendall(FRAME_HEADER.pack(len(frame)) + frame)
+        header = _read_exact(sock, FRAME_HEADER.size)
+        (length,) = FRAME_HEADER.unpack(header)
+        return _read_exact(sock, length)
+
+
+def _read_exact(sock, length):
+    chunks = []
+    while length:
+        chunk = sock.recv(length)
+        if not chunk:
+            raise AssertionError("peer closed before the full frame")
+        chunks.append(chunk)
+        length -= len(chunk)
+    return b"".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# transparency: socket answers == in-process answers
+
+
+def test_query_over_tcp_matches_in_process(served_lvq, probe_addresses):
+    server, full_node = served_lvq
+    light = LightNode.from_full_node(full_node)
+    address = probe_addresses["Addr5"]
+
+    request = QueryRequest(address).serialize()
+    over_wire = _raw_exchange(server.address, request)
+    in_process = full_node.handle_query(request)
+    assert over_wire == in_process, "the socket layer must be transparent"
+
+    remote = RemoteFullNode(server.address)
+    try:
+        history = light.query_history(remote, address, InProcessTransport())
+    finally:
+        remote.close()
+    baseline = light.query_history(full_node, address)
+    assert [(h, t.txid()) for h, t in history.transactions] == [
+        (h, t.txid()) for h, t in baseline.transactions
+    ]
+
+
+class _StubNode:
+    """A target whose answer is long and compressible — unlike real
+    responses, which are hash-dense and often pass through plain."""
+
+    tip_height = 0
+
+    def handle_query(self, payload):
+        return b"\x02" + b"A" * 2000
+
+    handle_batch_query = handle_headers = handle_query
+
+
+def test_compressed_request_gets_mirrored_codec(loop_thread, probe_addresses):
+    from repro.node.transport import compress_frame, decompress_frame
+
+    stub = _StubNode()
+    with NetServer(stub, loop_thread=loop_thread) as server:
+        # A long repetitive address so the *request* actually compresses
+        # (tiny or hash-dense frames legitimately pass through plain).
+        request = QueryRequest("A" * 512).serialize()
+        compressed = compress_frame(request, "zlib", min_size=0)
+        assert compressed[0] == FRAME_ZLIB
+        wire = _raw_exchange(server.address, compressed)
+        assert wire[0] == FRAME_ZLIB, "response must mirror the request codec"
+        assert decompress_frame(wire) == stub.handle_query(request)
+
+        plain = _raw_exchange(server.address, request)
+        assert plain[0] != FRAME_ZLIB, "plain request ⇒ plain response"
+
+
+def test_ping_pong_inline(served_lvq, lvq_system):
+    server, _ = served_lvq
+    response = _raw_exchange(server.address, PingRequest(1234).serialize())
+    pong = PongResponse.deserialize(response)
+    assert pong.nonce == 1234
+    assert pong.tip_height == lvq_system.tip_height
+
+
+def test_query_server_target_round_trip(lvq_system, loop_thread, probe_addresses):
+    full_node = FullNode(lvq_system)
+    query_server = QueryServer(full_node, num_workers=2)
+    try:
+        with NetServer(query_server, loop_thread=loop_thread) as server:
+            request = QueryRequest(probe_addresses["Addr4"]).serialize()
+            assert _raw_exchange(server.address, request) == (
+                full_node.handle_query(request)
+            )
+    finally:
+        query_server.close()
+
+
+# ---------------------------------------------------------------------------
+# typed errors across the wire
+
+
+def test_server_error_becomes_typed_client_exception(served_lvq):
+    server, _ = served_lvq
+    remote = RemoteFullNode(server.address)
+    try:
+        with pytest.raises(QueryError):
+            # Height 0 is the genesis sentinel: the node rejects it.
+            remote.handle_query(QueryRequest("addr", 5, 2).serialize())
+    finally:
+        remote.close()
+
+
+def test_unknown_tag_rejected_with_typed_frame(served_lvq):
+    server, _ = served_lvq
+    response = _raw_exchange(server.address, bytes([200]) + b"junk")
+    error = ErrorResponse.deserialize(response)
+    assert error.kind == "QueryError"
+    rebuilt = error_from_frame(error)
+    assert isinstance(rebuilt, QueryError)
+
+
+def test_wire_can_never_fabricate_verification_errors():
+    """A malicious server naming a VerificationError kind gets a generic
+    TransportError on the client: *only local checks* may claim a proof
+    failed verification (otherwise a liar could poison peer scoring)."""
+    for kind in ("VerificationError", "CorrectnessError", "NoSuchKind"):
+        rebuilt = error_from_frame(ErrorResponse(kind, "you failed"))
+        assert isinstance(rebuilt, TransportError)
+        assert not isinstance(rebuilt, VerificationError)
+
+
+def test_overload_crosses_wire_with_params(lvq_system, loop_thread):
+    full_node = FullNode(lvq_system)
+    query_server = QueryServer(full_node, num_workers=1, max_pending=1)
+    release = threading.Event()
+    original = full_node.handle_query
+
+    def slow_handle(payload):
+        release.wait(5.0)
+        return original(payload)
+
+    full_node.handle_query = slow_handle
+    try:
+        with NetServer(query_server, loop_thread=loop_thread) as server:
+            request = QueryRequest("a").serialize()
+            remote = RemoteFullNode(server.address, size=8)
+            results, errors = [], []
+
+            def fire():
+                try:
+                    results.append(remote.handle_query(request))
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.3)
+            release.set()
+            for thread in threads:
+                thread.join(10.0)
+            remote.close()
+            overloaded = [
+                e for e in errors if isinstance(e, ServerOverloadedError)
+            ]
+            assert overloaded, f"expected overload rejections, got {errors}"
+            assert overloaded[0].max_pending == 1  # params survived the wire
+    finally:
+        full_node.handle_query = original
+        release.set()
+        query_server.close()
+
+
+# ---------------------------------------------------------------------------
+# limits, deadlines, reaping
+
+
+def test_connection_gate_rejects_with_typed_frame(lvq_system, loop_thread):
+    server = NetServer(
+        FullNode(lvq_system), max_connections=1, loop_thread=loop_thread
+    )
+    with server:
+        first = socket.create_connection(server.address, timeout=5.0)
+        try:
+            # Prove the first connection is actually being served.
+            first.sendall(
+                FRAME_HEADER.pack(len(PingRequest(1).serialize()))
+                + PingRequest(1).serialize()
+            )
+            header = _read_exact(first, FRAME_HEADER.size)
+            _read_exact(first, FRAME_HEADER.unpack(header)[0])
+
+            response = _raw_exchange(
+                server.address, PingRequest(2).serialize()
+            )
+            error = ErrorResponse.deserialize(response)
+            assert error.kind == "ConnectionLimitError"
+            rebuilt = error_from_frame(error)
+            assert isinstance(rebuilt, ConnectionLimitError)
+            assert rebuilt.max_connections == 1
+        finally:
+            first.close()
+        assert server.stats.connections_rejected >= 1
+
+
+def test_idle_connections_are_reaped(lvq_system, loop_thread):
+    server = NetServer(
+        FullNode(lvq_system), idle_timeout=0.15, loop_thread=loop_thread
+    )
+    with server:
+        with socket.create_connection(server.address, timeout=5.0) as sock:
+            sock.settimeout(5.0)
+            assert sock.recv(1) == b"", "idle connection should see EOF"
+        deadline = time.monotonic() + 2.0
+        while server.stats.connections_reaped == 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+
+
+def test_mid_frame_stall_hits_read_deadline(lvq_system, loop_thread):
+    server = NetServer(
+        FullNode(lvq_system),
+        idle_timeout=5.0,
+        read_timeout=0.15,
+        loop_thread=loop_thread,
+    )
+    with server:
+        with socket.create_connection(server.address, timeout=5.0) as sock:
+            sock.sendall(FRAME_HEADER.pack(100) + b"only-a-prefix")
+            sock.settimeout(5.0)
+            assert sock.recv(1) == b"", "stalled frame must close the link"
+        deadline = time.monotonic() + 2.0
+        while server.stats.deadline_closes == 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+
+
+def test_oversized_and_empty_frames_rejected(lvq_system, loop_thread):
+    server = NetServer(
+        FullNode(lvq_system), max_frame_bytes=1024, loop_thread=loop_thread
+    )
+    with server:
+        with socket.create_connection(server.address, timeout=5.0) as sock:
+            sock.sendall(FRAME_HEADER.pack(1 << 30))  # huge claim, no body
+            header = _read_exact(sock, FRAME_HEADER.size)
+            body = _read_exact(sock, FRAME_HEADER.unpack(header)[0])
+            error = ErrorResponse.deserialize(body)
+            assert error.kind == "EncodingError"
+            sock.settimeout(5.0)
+            assert sock.recv(1) == b"", "framing is untrusted after abuse"
+
+        with socket.create_connection(server.address, timeout=5.0) as sock:
+            sock.sendall(FRAME_HEADER.pack(0))
+            header = _read_exact(sock, FRAME_HEADER.size)
+            body = _read_exact(sock, FRAME_HEADER.unpack(header)[0])
+            assert ErrorResponse.deserialize(body).kind == "EncodingError"
+
+
+def test_client_send_cap_is_symmetric(lvq_system, loop_thread):
+    with NetServer(FullNode(lvq_system), loop_thread=loop_thread) as server:
+        pool = ConnectionPool(server.address, max_frame_bytes=64)
+        try:
+            with pytest.raises(EncodingError):
+                pool.request(b"\x01" + b"x" * 100)  # never leaves the host
+            assert pool.stats["connects"] == 0
+        finally:
+            pool.close()
+
+
+# ---------------------------------------------------------------------------
+# lifecycle: drain and abort
+
+
+def test_graceful_drain_finishes_in_flight_requests(lvq_system, loop_thread):
+    full_node = FullNode(lvq_system)
+    started = threading.Event()
+    original = full_node.handle_query
+
+    def slow_handle(payload):
+        started.set()
+        time.sleep(0.25)
+        return original(payload)
+
+    full_node.handle_query = slow_handle
+    server = NetServer(full_node, loop_thread=loop_thread)
+    server.start()
+    request = QueryRequest("nobody").serialize()
+    result = {}
+
+    def client():
+        result["frame"] = _raw_exchange(server.address, request)
+
+    thread = threading.Thread(target=client)
+    thread.start()
+    assert started.wait(5.0)
+    server.close(drain=True, timeout=5.0)  # called *while* request runs
+    thread.join(5.0)
+    assert result["frame"] == original(request), (
+        "drain must let the in-flight request finish and flush"
+    )
+
+
+def test_abort_resets_live_connections(lvq_system, loop_thread):
+    full_node = FullNode(lvq_system)
+    started = threading.Event()
+    original = full_node.handle_query
+    full_node.handle_query = lambda p: (started.set(), time.sleep(5.0), b"")[2]
+    server = NetServer(full_node, loop_thread=loop_thread)
+    server.start()
+    pool = ConnectionPool(server.address, request_timeout=10.0)
+    errors = []
+
+    def client():
+        try:
+            pool.request(QueryRequest("nobody").serialize())
+        except Exception as error:  # noqa: BLE001
+            errors.append(error)
+
+    thread = threading.Thread(target=client)
+    thread.start()
+    assert started.wait(5.0)
+    server.abort()
+    thread.join(5.0)
+    pool.close()
+    assert len(errors) == 1
+    assert isinstance(errors[0], TransportError)
+    assert not isinstance(errors[0], RequestTimeoutError), (
+        "an abort is a hard failure, not a timeout"
+    )
+
+
+# ---------------------------------------------------------------------------
+# the client pool
+
+
+def test_pool_reuses_healthy_connections(served_lvq, probe_addresses):
+    server, _ = served_lvq
+    pool = ConnectionPool(server.address, size=2)
+    try:
+        request = QueryRequest(probe_addresses["Addr4"]).serialize()
+        for _ in range(5):
+            pool.request(request)
+        assert pool.stats["connects"] == 1, "serial requests reuse one socket"
+        assert pool.stats["requests"] == 5
+    finally:
+        pool.close()
+
+
+def test_pool_backoff_grows_and_blocks():
+    # A port with no listener: every connect fails fast.
+    placeholder = socket.socket()
+    placeholder.bind(("127.0.0.1", 0))
+    dead_address = placeholder.getsockname()
+    placeholder.close()
+
+    pool = ConnectionPool(
+        dead_address,
+        connect_timeout=0.2,
+        backoff_base=30.0,  # far longer than the test: the block must show
+        backoff_max=60.0,
+        seed=7,
+    )
+    try:
+        with pytest.raises(TransportError):
+            pool.request(b"\x0c\x00")
+        assert pool.stats["connect_failures"] == 1
+        with pytest.raises(TransportError, match="backed off"):
+            pool.request(b"\x0c\x00")  # inside the backoff window: no dial
+        assert pool.stats["connect_failures"] == 1, (
+            "a blocked attempt must not hit the network"
+        )
+        assert pool.stats["backoff_seconds"] > 0
+    finally:
+        pool.close()
+
+
+def test_pool_evicts_dead_connections_after_server_restart(
+    lvq_system, loop_thread, probe_addresses
+):
+    full_node = FullNode(lvq_system)
+    server = NetServer(full_node, loop_thread=loop_thread)
+    server.start()
+    address = server.address
+    pool = ConnectionPool(address, backoff_base=0.01, backoff_max=0.05)
+    request = QueryRequest(probe_addresses["Addr4"]).serialize()
+    try:
+        first = pool.request(request)
+        server.abort()  # the pooled connection is now a dead socket
+        replacement = NetServer(
+            full_node, host=address[0], port=address[1], loop_thread=loop_thread
+        )
+        replacement.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while True:
+                try:
+                    second = pool.request(request)
+                    break
+                except TransportError:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.02)
+            assert second == first
+            assert (
+                pool.stats["health_evictions"] + pool.stats["failovers"] >= 1
+            ), "the dead pooled socket must have been detected"
+        finally:
+            replacement.close()
+    finally:
+        pool.close()
+
+
+def test_remote_node_tip_height_via_pong(served_lvq, lvq_system):
+    server, _ = served_lvq
+    remote = RemoteFullNode(server.address)
+    try:
+        assert remote.tip_height == lvq_system.tip_height
+    finally:
+        remote.close()
+
+
+def test_client_connection_rejects_bad_length_claims(served_lvq):
+    server, _ = served_lvq
+    connection = ClientConnection(server.address, max_frame_bytes=16)
+    try:
+        # The pong fits; now shrink the cap below the response size and
+        # confirm the client refuses to read an over-cap frame.
+        connection.max_frame_bytes = 2
+        with pytest.raises(EncodingError):
+            connection.request(PingRequest(9).serialize(), timeout=5.0)
+    finally:
+        connection.close()
+
+
+# ---------------------------------------------------------------------------
+# the real daemon: `python -m repro serve` as a subprocess
+
+
+def test_repro_serve_subprocess_lifecycle(tmp_path):
+    """Spawn the actual CLI daemon, query it over TCP, SIGTERM it, and
+    assert a graceful drain: exit code 0 and the served-frames summary.
+    This is the full packaging path — a crash after the "serving on"
+    line (not reachable from in-process NetServer tests) fails here."""
+    import os
+    import re
+    import signal
+    import subprocess
+    import sys
+
+    import repro
+
+    from repro.workload.generator import WorkloadParams, generate_workload
+
+    src_root = os.path.dirname(os.path.dirname(repro.__file__))
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--blocks",
+            "24",
+            "--txs-per-block",
+            "6",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": src_root},
+    )
+    try:
+        deadline = time.monotonic() + 60.0
+        address = None
+        while address is None:
+            line = process.stdout.readline()
+            assert (
+                process.poll() is None and time.monotonic() < deadline
+            ), f"daemon died before binding: {line!r}"
+            match = re.search(r"serving on ([0-9.]+):(\d+)", line)
+            if match:
+                address = (match.group(1), int(match.group(2)))
+
+        workload = generate_workload(
+            WorkloadParams(num_blocks=24, txs_per_block=6, seed=2020)
+        )
+        remote = RemoteFullNode(address)
+        try:
+            assert remote.tip_height == 24  # genesis + 24 workload blocks
+            response = remote.handle_query(
+                QueryRequest(workload.probe_addresses["Addr4"]).serialize()
+            )
+            assert response and response[0] == 2  # QueryResponse tag
+        finally:
+            remote.close()
+
+        process.send_signal(signal.SIGTERM)
+        output = process.stdout.read()
+        assert process.wait(30.0) == 0
+        assert "draining..." in output
+        assert re.search(r"served \d+ frames over \d+ connections", output)
+    finally:
+        if process.poll() is None:
+            process.kill()
