@@ -9,11 +9,15 @@ chain (sizes/seeds configurable):
 * ``attack``   — run the §VI adversary suite and show every rejection;
 * ``segments`` — print merge sets / segment division (Tables I & II).
 
-Plus two operational tools: ``verify-store <dir>`` fscks a durable chain
-store (exit 0 clean / 1 corrupt, reporting the first bad record offset),
-and ``serve`` runs a full node as a TCP daemon (PROTOCOL.md §9) with
-graceful drain on SIGTERM; ``query --connect HOST:PORT`` points the
-query client at such a daemon instead of an in-process node.
+Plus operational tools: ``verify-store <dir>`` fscks a durable chain
+store (exit 0 clean / 1 corrupt, reporting the first bad record offset);
+``serve`` runs a full node as a TCP daemon (PROTOCOL.md §9) with
+graceful drain on SIGTERM and optional background mining
+(``--mine-interval``) so watchers see live appends; ``query --connect
+HOST:PORT`` points the query client at such a daemon instead of an
+in-process node; ``watch --connect HOST:PORT addr...`` opens a §10
+streaming subscription and prints one parseable line per verified
+update/retraction until Ctrl-C.
 """
 
 from __future__ import annotations
@@ -284,23 +288,37 @@ def cmd_verify_store(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Run a full node as a TCP daemon until SIGTERM/SIGINT, then drain."""
+    """Run a full node as a TCP daemon until SIGTERM/SIGINT, then drain.
+
+    With ``--mine-blocks N`` a background miner appends one
+    pre-generated block every ``--mine-interval`` seconds, so connected
+    ``repro watch`` clients receive live pushed updates.  The base chain
+    stays the canonical ``--blocks`` workload (a client building the
+    same parameters shares genesis and trusted headers); the mined
+    blocks come from a seed-derived continuation workload, so each run
+    is still deterministic while clients verify the appends purely from
+    the pushed proofs.
+    """
     import signal
     import threading
 
     from repro.node.net import NetServer
     from repro.node.server import QueryServer
+    from repro.node.subscribe import SubscriptionRegistry
 
+    mine_blocks = max(0, args.mine_blocks)
     workload = _workload(args)
     config = SystemConfig.lvq(
         bf_bytes=args.bf_bytes * 3, segment_len=_segment_len(args)
     )
     system = build_system(workload.bodies, config)
+    node = FullNode(system)
     query_server = QueryServer(
-        FullNode(system),
+        node,
         num_workers=args.workers,
         max_pending=args.max_pending,
     )
+    registry = SubscriptionRegistry(node, max_outbox=args.push_outbox)
     server = NetServer(
         query_server,
         host=args.host,
@@ -309,31 +327,127 @@ def cmd_serve(args) -> int:
         idle_timeout=args.idle_timeout,
         read_timeout=args.read_timeout,
         write_timeout=args.write_timeout,
+        subscriptions=registry,
+        push_outbox=args.push_outbox,
     )
     server.start()
     stop = threading.Event()
     signal.signal(signal.SIGTERM, lambda *_: stop.set())
     signal.signal(signal.SIGINT, lambda *_: stop.set())
+
+    miner: "Optional[threading.Thread]" = None
+    if mine_blocks:
+        continuation = generate_workload(
+            WorkloadParams(
+                num_blocks=mine_blocks,
+                txs_per_block=args.txs_per_block,
+                seed=args.seed + 104729,  # distinct stream, still seeded
+            )
+        )
+        pending = continuation.bodies[1:]  # bodies[0] is its genesis
+
+        def _mine() -> None:
+            for transactions in pending:
+                if stop.wait(args.mine_interval):
+                    return
+                node.extend_chain([transactions])
+                print(f"mined height {system.tip_height}", flush=True)
+
+        miner = threading.Thread(target=_mine, name="repro-miner", daemon=True)
+        miner.start()
+
     # Parseable by scripts/tests: the kernel picks the port when 0.
     print(f"serving on {server.host}:{server.port}", flush=True)
     print(
-        f"  chain: {args.blocks} blocks, tip height {system.tip_height}",
+        f"  chain: {args.blocks} blocks, tip height {system.tip_height}"
+        + (f", mining {mine_blocks} more every {args.mine_interval}s"
+           if mine_blocks else ""),
         flush=True,
     )
     try:
         stop.wait()
     finally:
+        stop.set()
+        if miner is not None:
+            miner.join(timeout=5.0)
         print("draining...", flush=True)
+        registry.close()
         server.close(drain=True, timeout=args.drain_timeout)
         query_server.close(drain=True, timeout=args.drain_timeout)
         stats = server.stats.as_dict()
         print(
             f"served {stats['frames_in']} frames over "
             f"{stats['connections_accepted']} connections "
-            f"({stats['bytes_in']:,}B in, {stats['bytes_out']:,}B out)",
+            f"({stats['bytes_in']:,}B in, {stats['bytes_out']:,}B out, "
+            f"{stats['pushes']} pushes)",
             flush=True,
         )
     return 0
+
+
+def cmd_watch(args) -> int:
+    """Stream verified watch updates from a daemon, one line per event.
+
+    Builds the same synthetic chain parameters as the daemon for the
+    trusted genesis headers (the daemon may have mined further — the
+    session backfills the difference through verified range queries),
+    subscribes over TCP, and prints each event's ``describe()`` line.
+    Ctrl-C unsubscribes and exits cleanly.
+    """
+    from repro.node.subscribe import SubscriptionSession, WatchClosed
+
+    workload = _workload(args)
+    config = SystemConfig.lvq(
+        bf_bytes=args.bf_bytes * 3, segment_len=_segment_len(args)
+    )
+    system = build_system(workload.bodies, config)
+    light_node = LightNode(system.headers(), config)
+
+    host, _, port = args.connect.rpartition(":")
+    watched = [
+        workload.probe_addresses.get(name, name) for name in args.addresses
+    ]
+    session = SubscriptionSession(
+        light_node,
+        (host or "127.0.0.1", int(port)),
+        watched,
+        keepalive=args.keepalive,
+    )
+    print(f"watching {len(watched)} addresses via {args.connect}", flush=True)
+    session.start()
+    import time as _time
+
+    deadline = _time.monotonic() + args.duration if args.duration else None
+    updates = 0
+    status = 0
+    try:
+        while True:
+            event = session.next_event(timeout=0.25)
+            if event is None:
+                if deadline is not None and _time.monotonic() >= deadline:
+                    break
+                continue
+            print(event.describe(), flush=True)
+            if isinstance(event, WatchClosed):
+                break
+            if event.kind == "update":
+                updates += 1
+                if args.max_updates and updates >= args.max_updates:
+                    break
+            elif event.kind == "disconnect" and event.final:
+                status = 1
+    except KeyboardInterrupt:
+        pass
+    finally:
+        session.stop()
+    stats = session.stats
+    print(
+        f"watch done: {stats.updates_verified} updates verified, "
+        f"{stats.retractions} retractions, {stats.backfills} backfills, "
+        f"0 unverified surfaced",
+        flush=True,
+    )
+    return status
 
 
 def cmd_segments(args) -> int:
@@ -401,7 +515,61 @@ def build_parser() -> argparse.ArgumentParser:
         default=10.0,
         help="grace period for in-flight requests on shutdown",
     )
+    serve.add_argument(
+        "--mine-blocks",
+        type=int,
+        default=0,
+        help="pre-generate this many extra blocks and append them live",
+    )
+    serve.add_argument(
+        "--mine-interval",
+        type=float,
+        default=1.0,
+        help="seconds between background block appends",
+    )
+    serve.add_argument(
+        "--push-outbox",
+        type=int,
+        default=256,
+        help="per-subscriber outbox bound before slow-consumer eviction",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    watch = sub.add_parser(
+        "watch",
+        help="stream verified watch-address updates from a daemon (§10)",
+    )
+    _add_chain_arguments(watch)
+    watch.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        required=True,
+        help="a running `repro serve` daemon",
+    )
+    watch.add_argument(
+        "addresses",
+        nargs="+",
+        help="probe names (Addr1..Addr6) or literal addresses to watch",
+    )
+    watch.add_argument(
+        "--keepalive",
+        type=float,
+        default=5.0,
+        help="quiet seconds before a keepalive ping",
+    )
+    watch.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="stop after this many seconds (0 = until Ctrl-C)",
+    )
+    watch.add_argument(
+        "--max-updates",
+        type=int,
+        default=0,
+        help="stop after this many verified updates/backfills (0 = no cap)",
+    )
+    watch.set_defaults(func=cmd_watch)
 
     compare = sub.add_parser("compare", help="Fig-12-style size comparison")
     _add_chain_arguments(compare)

@@ -116,6 +116,43 @@ class ConnectionLimitError(QueryError):
         }
 
 
+class SubscriberEvictedError(QueryError):
+    """A streaming subscription was dropped by the server's slow-consumer
+    guard (PROTOCOL.md §10.5).
+
+    The server bounds every subscriber's outbox; a client that stops
+    draining its socket overflows the bound and is evicted — the outbox
+    is reclaimed, a typed eviction frame is delivered as the final frame,
+    and the connection is closed.  Eviction is a *denial* signal, never a
+    data signal: nothing about chain content rides on it.
+
+    * ``subscription_id`` — the evicted subscription.
+    * ``dropped_frames`` — update/retraction frames discarded unread.
+    """
+
+    def __init__(
+        self,
+        subscription_id: int,
+        dropped_frames: int,
+        reason: str = "outbox overflow",
+    ) -> None:
+        super().__init__(
+            f"subscription {subscription_id} evicted ({reason}); "
+            f"{dropped_frames} pending frames dropped"
+        )
+        self.subscription_id = subscription_id
+        self.dropped_frames = dropped_frames
+        self.reason = reason
+
+    def details(self) -> "dict[str, object]":
+        return {
+            "kind": type(self).__name__,
+            "subscription_id": self.subscription_id,
+            "dropped_frames": self.dropped_frames,
+            "reason": self.reason,
+        }
+
+
 class TransportError(ReproError):
     """Network failure (closed transport, oversized message, dead link)."""
 

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.chain.block import BlockHeader
 from repro.chain.blockchain import header_storage_bytes
 from repro.errors import (
+    ChainError,
     NoHonestPeerError,
     ReproError,
     StaleChainError,
@@ -81,6 +82,23 @@ class LightNode:
     def storage_bytes(self) -> int:
         """The Challenge-1 metric: bytes this node must persist."""
         return header_storage_bytes(self.headers)
+
+    def truncate_headers(self, height: int) -> int:
+        """Drop every header above ``height``; returns how many fell.
+
+        The client half of a pushed reorg retraction (PROTOCOL.md §10.4):
+        the retained prefix [0..height] stays trusted, and the
+        replacement branch must re-verify its linkage onto it — either
+        frame by frame as push updates arrive or in bulk through
+        :meth:`sync_with_reorg`.
+        """
+        if height < 0:
+            raise ChainError(f"cannot truncate below genesis ({height})")
+        if height >= self.tip_height:
+            return 0
+        removed = self.tip_height - height
+        del self.headers[height + 1 :]
+        return removed
 
     # -- header sync ---------------------------------------------------------
 

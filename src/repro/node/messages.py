@@ -31,6 +31,15 @@ _MSG_AGG_BATCH_RESPONSE = 10
 _MSG_ERROR = 11
 _MSG_PING = 12
 _MSG_PONG = 13
+# Subscription tags start at 0x14: 0x0e-0x13 are left unassigned so the
+# compression frame markers (0x10/0x11, transport.py) and room around
+# them can never be mistaken for a message tag on first-byte dispatch.
+_MSG_SUBSCRIBE_REQUEST = 20
+_MSG_SUBSCRIBE_ACK = 21
+_MSG_UNSUBSCRIBE_REQUEST = 22
+_MSG_PUSH_UPDATE = 23
+_MSG_PUSH_RETRACTION = 24
+_MSG_SUBSCRIPTION_EVICTED = 25
 
 
 def _zigzag(n: int) -> int:
@@ -409,13 +418,19 @@ class ErrorResponse:
 
     @classmethod
     def from_exception(cls, error: Exception) -> "ErrorResponse":
-        from repro.errors import ConnectionLimitError, ServerOverloadedError
+        from repro.errors import (
+            ConnectionLimitError,
+            ServerOverloadedError,
+            SubscriberEvictedError,
+        )
 
         params: "tuple[int, ...]" = ()
         if isinstance(error, ServerOverloadedError):
             params = (error.pending, error.max_pending)
         elif isinstance(error, ConnectionLimitError):
             params = (error.active, error.max_connections)
+        elif isinstance(error, SubscriberEvictedError):
+            params = (error.subscription_id, error.dropped_frames)
         return cls(type(error).__name__, str(error), params)
 
     def serialize(self) -> bytes:
@@ -509,6 +524,266 @@ class PongResponse:
         tip_height = reader.varint()
         reader.finish()
         return cls(nonce, tip_height)
+
+
+#: Hard bound on watch-set size: large enough for any wallet, small
+#: enough that a hostile subscribe cannot make the server build
+#: megaframe updates on every append.
+MAX_WATCH_ADDRESSES = 1024
+
+
+class SubscribeRequest:
+    """Client → server: "push me verifiable updates for these addresses".
+
+    The address list becomes the subscription's watch set; every pushed
+    :class:`PushUpdate` answers exactly this list, in this order, so the
+    client can pin ``expected_addresses`` during verification (§10.2).
+    """
+
+    __slots__ = ("addresses",)
+
+    type_tag = _MSG_SUBSCRIBE_REQUEST
+
+    def __init__(self, addresses: "List[str]") -> None:
+        if not addresses:
+            raise EncodingError("subscription needs at least one address")
+        if len(addresses) > MAX_WATCH_ADDRESSES:
+            raise EncodingError(
+                f"watch set of {len(addresses)} exceeds the "
+                f"{MAX_WATCH_ADDRESSES}-address bound"
+            )
+        if any(not address for address in addresses):
+            raise EncodingError("empty address in watch set")
+        if len(set(addresses)) != len(addresses):
+            raise EncodingError("watch set addresses must be distinct")
+        self.addresses = list(addresses)
+
+    def serialize(self) -> bytes:
+        parts = [bytes([self.type_tag]), write_varint(len(self.addresses))]
+        parts.extend(
+            write_var_bytes(address.encode("utf-8"))
+            for address in self.addresses
+        )
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "SubscribeRequest":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        count = reader.varint()
+        if count == 0 or count > MAX_WATCH_ADDRESSES:
+            raise EncodingError(f"implausible watch set size {count}")
+        addresses = [_utf8(reader.var_bytes()) for _ in range(count)]
+        reader.finish()
+        return cls(addresses)
+
+
+class SubscribeAck:
+    """Server → client: the subscription is registered.
+
+    ``tip_height`` is the server's tip *at registration*: every block
+    appended after this moment will be pushed, so a client whose local
+    tip lags the ack tip knows exactly the gap it must backfill with a
+    normal (verified) range query.  Like the pong tip, the value itself
+    is advisory — data derived from it still passes full verification.
+    Also answers :class:`UnsubscribeRequest` (same shape, same fields).
+    """
+
+    __slots__ = ("subscription_id", "tip_height")
+
+    type_tag = _MSG_SUBSCRIBE_ACK
+
+    def __init__(self, subscription_id: int, tip_height: int) -> None:
+        if subscription_id < 1 or tip_height < 0:
+            raise EncodingError(
+                f"bad subscribe ack ({subscription_id}, {tip_height})"
+            )
+        self.subscription_id = subscription_id
+        self.tip_height = tip_height
+
+    def serialize(self) -> bytes:
+        return (
+            bytes([self.type_tag])
+            + write_varint(self.subscription_id)
+            + write_varint(self.tip_height)
+        )
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "SubscribeAck":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        subscription_id = reader.varint()
+        tip_height = reader.varint()
+        reader.finish()
+        return cls(subscription_id, tip_height)
+
+
+class UnsubscribeRequest:
+    """Client → server: drop one subscription (answered by an ack)."""
+
+    __slots__ = ("subscription_id",)
+
+    type_tag = _MSG_UNSUBSCRIBE_REQUEST
+
+    def __init__(self, subscription_id: int) -> None:
+        if subscription_id < 1:
+            raise EncodingError(f"bad subscription id {subscription_id}")
+        self.subscription_id = subscription_id
+
+    def serialize(self) -> bytes:
+        return bytes([self.type_tag]) + write_varint(self.subscription_id)
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "UnsubscribeRequest":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        subscription_id = reader.varint()
+        reader.finish()
+        return cls(subscription_id)
+
+
+class PushUpdate:
+    """Server → client (unsolicited): one appended block, proven.
+
+    ``header_bytes`` is the new block's full header; ``batch_bytes`` is
+    a serialized :class:`~repro.query.batch.BatchQueryResult` answering
+    the subscription's watch set over the single-height range
+    ``[height, height]``, built *at tip == height* (inside the append
+    listener, before the chain can move again).  The client links the
+    header onto its local chain, then runs the identical
+    ``verify_batch_result`` path a pull query uses — quiet addresses
+    arrive as BF-negative attestations, hits as SMT existence plus
+    Merkle/BMT inclusion proofs.  Nothing here is trusted unverified.
+
+    The batch stays opaque bytes at this layer because decoding needs
+    the chain's :class:`~repro.query.config.SystemConfig`; the client
+    decodes with its own trusted config, never one supplied by a peer.
+    """
+
+    __slots__ = ("height", "header_bytes", "batch_bytes")
+
+    type_tag = _MSG_PUSH_UPDATE
+
+    def __init__(
+        self, height: int, header_bytes: bytes, batch_bytes: bytes
+    ) -> None:
+        if height < 1:
+            raise EncodingError(f"bad push update height {height}")
+        if not header_bytes or not batch_bytes:
+            raise EncodingError("push update needs header and batch bytes")
+        self.height = height
+        self.header_bytes = header_bytes
+        self.batch_bytes = batch_bytes
+
+    def serialize(self) -> bytes:
+        return (
+            bytes([self.type_tag])
+            + write_varint(self.height)
+            + write_var_bytes(self.header_bytes)
+            + write_var_bytes(self.batch_bytes)
+        )
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "PushUpdate":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        height = reader.varint()
+        header_bytes = reader.var_bytes()
+        batch_bytes = reader.var_bytes()
+        reader.finish()
+        return cls(height, header_bytes, batch_bytes)
+
+
+class PushRetraction:
+    """Server → client (unsolicited): blocks above ``fork_height`` are gone.
+
+    Sent from the reorg listener the moment the server rolls back; the
+    replacement blocks follow as ordinary :class:`PushUpdate` frames
+    whose headers must *link* onto the retained prefix — that linkage
+    plus their batch proofs is what actually authorizes the switch.  A
+    fabricated retraction can therefore only cost the client a
+    re-verification round trip (deny), never install wrong history
+    (deceive).  ``old_tip`` is advisory: the tip the server had before
+    rolling back, letting the client report the retracted span.
+    """
+
+    __slots__ = ("fork_height", "old_tip")
+
+    type_tag = _MSG_PUSH_RETRACTION
+
+    def __init__(self, fork_height: int, old_tip: int) -> None:
+        if fork_height < 0 or old_tip < fork_height:
+            raise EncodingError(
+                f"bad retraction ({fork_height}, {old_tip})"
+            )
+        self.fork_height = fork_height
+        self.old_tip = old_tip
+
+    def serialize(self) -> bytes:
+        return (
+            bytes([self.type_tag])
+            + write_varint(self.fork_height)
+            + write_varint(self.old_tip)
+        )
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "PushRetraction":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        fork_height = reader.varint()
+        old_tip = reader.varint()
+        reader.finish()
+        return cls(fork_height, old_tip)
+
+
+class SubscriptionEvicted:
+    """Server → client (unsolicited, final): slow-consumer eviction (§10.5).
+
+    When a subscriber's bounded outbox overflows, the server reclaims
+    the queued frames, delivers this one frame in their place, and
+    closes the connection.  The client rebuilds it as a typed
+    :class:`~repro.errors.SubscriberEvictedError`.
+    """
+
+    __slots__ = ("subscription_id", "dropped_frames", "reason")
+
+    type_tag = _MSG_SUBSCRIPTION_EVICTED
+
+    def __init__(
+        self, subscription_id: int, dropped_frames: int, reason: str
+    ) -> None:
+        if subscription_id < 1 or dropped_frames < 0:
+            raise EncodingError(
+                f"bad eviction ({subscription_id}, {dropped_frames})"
+            )
+        self.subscription_id = subscription_id
+        self.dropped_frames = dropped_frames
+        self.reason = reason
+
+    def serialize(self) -> bytes:
+        return (
+            bytes([self.type_tag])
+            + write_varint(self.subscription_id)
+            + write_varint(self.dropped_frames)
+            + write_var_bytes(self.reason.encode("utf-8"))
+        )
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "SubscriptionEvicted":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        subscription_id = reader.varint()
+        dropped_frames = reader.varint()
+        reason = _utf8(reader.var_bytes())
+        reader.finish()
+        return cls(subscription_id, dropped_frames, reason)
+
+    def to_error(self):
+        from repro.errors import SubscriberEvictedError
+
+        return SubscriberEvictedError(
+            self.subscription_id, self.dropped_frames, self.reason
+        )
 
 
 def _expect_tag(reader: ByteReader, tag: int) -> None:

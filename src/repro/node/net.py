@@ -34,7 +34,8 @@ from __future__ import annotations
 import asyncio
 import struct
 import threading
-from typing import Optional, Set, Tuple
+from collections import deque
+from typing import Callable, Optional, Set, Tuple
 
 from repro.errors import (
     ConnectionLimitError,
@@ -100,6 +101,9 @@ class NetServerStats:
         "bytes_out",
         "errors_sent",
         "pings",
+        "pushes",
+        "subscriptions_accepted",
+        "subscribers_reaped",
     )
 
     def __init__(self) -> None:
@@ -113,6 +117,9 @@ class NetServerStats:
         self.bytes_out = 0
         self.errors_sent = 0
         self.pings = 0
+        self.pushes = 0
+        self.subscriptions_accepted = 0
+        self.subscribers_reaped = 0
 
     def as_dict(self) -> "dict[str, int]":
         return {name: getattr(self, name) for name in self.__slots__}
@@ -153,6 +160,112 @@ class _Target:
         )
 
 
+#: Request tags routed to the subscription registry instead of _Target.
+_SUBSCRIPTION_TAGS = (
+    _messages.SubscribeRequest.type_tag,
+    _messages.UnsubscribeRequest.type_tag,
+)
+
+
+class _PushChannel:
+    """Bounded server→client outbox bridging registry threads to one
+    connection's asyncio push task (the §10 slow-consumer guard).
+
+    ``push``/``evict`` run on whatever thread appended the block — the
+    :class:`~repro.node.subscribe.SubscriptionRegistry` fans out inside
+    the system's append listener, under the write lock — so they take a
+    plain threading lock and wake the event loop with
+    ``call_soon_threadsafe``.  The push task drains frames FIFO.
+
+    The outbox bound is enforced here: ``push`` past the bound returns
+    ``"overflow"`` (the registry's cue to evict), and ``evict`` reclaims
+    everything queued, replacing it with one final typed frame built
+    from the drop count.
+    """
+
+    __slots__ = (
+        "max_outbox",
+        "_lock",
+        "_frames",
+        "_evicted",
+        "_closed",
+        "_event",
+        "_loop",
+    )
+
+    def __init__(
+        self, loop: asyncio.AbstractEventLoop, max_outbox: int
+    ) -> None:
+        self.max_outbox = max_outbox
+        self._lock = threading.Lock()
+        self._frames: "deque[bytes]" = deque()
+        self._evicted = False
+        self._closed = False
+        self._event = asyncio.Event()
+        self._loop = loop
+
+    def _wake(self) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self._event.set)
+        except RuntimeError:
+            pass  # loop already shut down; the connection is gone anyway
+
+    def push(self, frame: bytes) -> str:
+        with self._lock:
+            if self._closed or self._evicted:
+                return "closed"
+            if len(self._frames) >= self.max_outbox:
+                return "overflow"
+            self._frames.append(frame)
+        self._wake()
+        return "ok"
+
+    def evict(self, frame_factory: Callable[[int], bytes]) -> int:
+        with self._lock:
+            if self._closed or self._evicted:
+                return 0
+            # Everything queued plus the frame that overflowed the bound.
+            dropped = len(self._frames) + 1
+            self._frames.clear()
+            self._frames.append(frame_factory(dropped))
+            self._evicted = True
+        self._wake()
+        return dropped
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._frames.clear()
+        self._wake()
+
+    def drain(self) -> "Tuple[list[bytes], bool, bool]":
+        """Take every queued frame; returns ``(frames, evicted, closed)``."""
+        with self._lock:
+            frames = list(self._frames)
+            self._frames.clear()
+            self._event.clear()
+            return frames, self._evicted, self._closed
+
+    async def wait(self) -> None:
+        await self._event.wait()
+
+
+class _ConnState:
+    """Per-connection mutable state.
+
+    ``write_lock`` serializes response and push writes on one socket so
+    a pushed frame can never interleave with a response frame's bytes;
+    ``channel``/``push_task`` exist only once the connection subscribes.
+    """
+
+    __slots__ = ("write_lock", "channel", "push_task")
+
+    def __init__(self) -> None:
+        self.write_lock = asyncio.Lock()
+        self.channel: Optional[_PushChannel] = None
+        self.push_task: Optional[asyncio.Task] = None
+
+
 class NetServer:
     """One node served over loopback/LAN TCP with defensive deadlines.
 
@@ -175,6 +288,16 @@ class NetServer:
     The concurrency gate: at most ``max_connections`` connections are
     served; beyond that the server answers a single
     :class:`~repro.errors.ConnectionLimitError` frame and closes.
+
+    When a :class:`~repro.node.subscribe.SubscriptionRegistry` is passed
+    as ``subscriptions``, connections may also carry §10 watch streams:
+    subscribe/unsubscribe requests are answered inline, and a per-
+    connection push task interleaves server-initiated frames with the
+    request/response traffic (serialized by a per-connection write
+    lock).  The idle deadline still applies — a subscriber keeps its
+    connection alive with keepalive pings, and one that goes quiet is
+    reaped like any other connection (counted separately in
+    ``stats.subscribers_reaped``).
     """
 
     def __init__(
@@ -188,12 +311,19 @@ class NetServer:
         idle_timeout: float = 30.0,
         read_timeout: float = 10.0,
         write_timeout: float = 10.0,
+        subscriptions=None,
+        push_outbox: int = 256,
+        push_buffer_bytes: Optional[int] = None,
         loop_thread: Optional[EventLoopThread] = None,
     ) -> None:
         if max_connections < 1:
             raise ValueError(f"need at least 1 connection, {max_connections}")
         if max_frame_bytes < 1:
             raise ValueError(f"bad frame limit {max_frame_bytes}")
+        if push_outbox < 2:
+            raise ValueError(f"push outbox bound must be >= 2, {push_outbox}")
+        if push_buffer_bytes is not None and push_buffer_bytes < 0:
+            raise ValueError(f"bad push buffer bound {push_buffer_bytes}")
         self._target = _Target(target)
         self.host = host
         self.port = port
@@ -202,6 +332,9 @@ class NetServer:
         self.idle_timeout = idle_timeout
         self.read_timeout = read_timeout
         self.write_timeout = write_timeout
+        self.subscriptions = subscriptions
+        self.push_outbox = push_outbox
+        self.push_buffer_bytes = push_buffer_bytes
         self.stats = NetServerStats()
         self._owns_loop = loop_thread is None
         self._loop_thread = loop_thread
@@ -319,16 +452,42 @@ class NetServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        state = _ConnState()
+        try:
+            await self._serve_frames(reader, writer, state)
+        finally:
+            if state.push_task is not None:
+                state.push_task.cancel()
+            if state.channel is not None:
+                state.channel.close()
+                if self.subscriptions is not None:
+                    self.subscriptions.detach_channel(state.channel)
+
+    async def _serve_frames(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        state: _ConnState,
+    ) -> None:
         while not self._draining:
             # Idle deadline: arm it on the *first* byte of the next
             # frame's header; a quiet connection is reaped, a started
-            # frame falls under the stricter read deadline below.
+            # frame falls under the stricter read deadline below.  A
+            # subscriber's keepalive pings are frames like any other, so
+            # a healthy watch connection refreshes the deadline each
+            # ping; only a genuinely silent one is reaped.
             try:
                 first = await asyncio.wait_for(
                     reader.readexactly(1), self.idle_timeout
                 )
             except asyncio.TimeoutError:
                 self.stats.connections_reaped += 1
+                if (
+                    state.channel is not None
+                    and self.subscriptions is not None
+                    and self.subscriptions.channel_active(state.channel)
+                ):
+                    self.stats.subscribers_reaped += 1
                 return
             except (asyncio.IncompleteReadError, ConnectionError, OSError):
                 return  # clean EOF or client went away between frames
@@ -340,15 +499,16 @@ class NetServer:
                 (length,) = FRAME_HEADER.unpack(first + rest)
                 if length == 0 or length > self.max_frame_bytes:
                     self.stats.errors_sent += 1
-                    await self._write_frame(
-                        writer,
-                        _messages.ErrorResponse.from_exception(
-                            EncodingError(
-                                f"frame of {length} bytes outside "
-                                f"[1, {self.max_frame_bytes}]"
-                            )
-                        ).serialize(),
-                    )
+                    async with state.write_lock:
+                        await self._write_frame(
+                            writer,
+                            _messages.ErrorResponse.from_exception(
+                                EncodingError(
+                                    f"frame of {length} bytes outside "
+                                    f"[1, {self.max_frame_bytes}]"
+                                )
+                            ).serialize(),
+                        )
                     return  # framing can't be trusted past this point
                 frame = await asyncio.wait_for(
                     reader.readexactly(length), self.read_timeout
@@ -362,18 +522,106 @@ class NetServer:
             self.stats.bytes_in += FRAME_HEADER.size + length
             self._busy += 1
             try:
-                response = await self._serve_frame(frame)
+                response = await self._serve_frame(frame, state)
             finally:
                 self._busy -= 1
             try:
-                await self._write_frame(writer, response)
+                async with state.write_lock:
+                    await self._write_frame(writer, response)
             except asyncio.TimeoutError:
                 self.stats.deadline_closes += 1
                 return
             except (ConnectionError, OSError):
                 return
+            # Spawn the push task only after the subscribe ack is on the
+            # wire, so the client always sees ack-before-pushes for the
+            # subscription it just opened.
+            if state.channel is not None and state.push_task is None:
+                if self.push_buffer_bytes is not None:
+                    # Bound the transport's write buffer on subscriber
+                    # connections so a stalled reader's backpressure
+                    # reaches the outbox (and its eviction accounting)
+                    # instead of ballooning server-side memory.
+                    writer.transport.set_write_buffer_limits(
+                        high=self.push_buffer_bytes
+                    )
+                state.push_task = asyncio.ensure_future(
+                    self._push_loop(writer, state)
+                )
 
-    async def _serve_frame(self, frame: bytes) -> bytes:
+    async def _handle_subscription(
+        self, payload: bytes, state: _ConnState
+    ) -> bytes:
+        """Serve one subscribe/unsubscribe frame on the event loop.
+
+        Registry calls are quick bookkeeping (no proof building), so
+        they run inline rather than through the worker pool — and they
+        must, because the channel is bound to this connection.
+        """
+        if self.subscriptions is None:
+            raise QueryError(
+                "this server does not accept streaming subscriptions"
+            )
+        if payload[0] == _messages.SubscribeRequest.type_tag:
+            request = _messages.SubscribeRequest.deserialize(payload)
+            if state.channel is None:
+                state.channel = _PushChannel(
+                    asyncio.get_running_loop(), self.push_outbox
+                )
+            sub_id, tip = self.subscriptions.subscribe(
+                request.addresses, state.channel
+            )
+            self.stats.subscriptions_accepted += 1
+            return _messages.SubscribeAck(sub_id, tip).serialize()
+        request = _messages.UnsubscribeRequest.deserialize(payload)
+        if state.channel is None:
+            raise QueryError(
+                f"no subscription {request.subscription_id} "
+                f"on this connection"
+            )
+        tip = self.subscriptions.unsubscribe(
+            request.subscription_id, state.channel
+        )
+        return _messages.SubscribeAck(request.subscription_id, tip).serialize()
+
+    async def _push_loop(
+        self, writer: asyncio.StreamWriter, state: _ConnState
+    ) -> None:
+        """Drain the connection's push channel onto the socket, FIFO.
+
+        Push frames are written plain (never compressed): compression is
+        a per-request mirror (§9.5) and a push has no request to mirror.
+        After an eviction the channel's final frame is the typed notice;
+        once it is flushed the connection is severed so the client can't
+        mistake the post-eviction silence for a quiet chain.
+        """
+        channel = state.channel
+        if channel is None:  # pragma: no cover - spawn guard precludes it
+            return
+        try:
+            while True:
+                frames, evicted, closed = channel.drain()
+                for frame in frames:
+                    async with state.write_lock:
+                        await self._write_frame(writer, frame)
+                    self.stats.pushes += 1
+                if closed:
+                    return
+                if evicted:
+                    writer.close()
+                    return
+                if not frames:
+                    await channel.wait()
+        except asyncio.TimeoutError:
+            # Socket-level slow consumer: the write deadline fired with
+            # the kernel buffer full.  Drop the link; the registry's
+            # outbox bound does the accounting when it overflows.
+            self.stats.deadline_closes += 1
+            writer.close()
+        except (ConnectionError, OSError):
+            writer.close()
+
+    async def _serve_frame(self, frame: bytes, state: _ConnState) -> bytes:
         """One request frame → one response frame, errors included.
 
         Compression is negotiated per frame by mirroring: a request that
@@ -387,7 +635,9 @@ class NetServer:
                 payload = decompress_frame(frame, self.max_frame_bytes)
             else:
                 payload = frame
-            if payload and payload[0] == _messages.PingRequest.type_tag:
+            if payload and payload[0] in _SUBSCRIPTION_TAGS:
+                response = await self._handle_subscription(payload, state)
+            elif payload and payload[0] == _messages.PingRequest.type_tag:
                 ping = _messages.PingRequest.deserialize(payload)
                 self.stats.pings += 1
                 response = _messages.PongResponse(

@@ -40,6 +40,7 @@ from repro.errors import (
     QueryError,
     RequestTimeoutError,
     ServerOverloadedError,
+    SubscriberEvictedError,
     TransportError,
 )
 from repro.node.messages import ErrorResponse, PingRequest, PongResponse
@@ -63,6 +64,10 @@ _WIRE_ERRORS: Dict[str, Callable[[str, Tuple[int, ...]], Exception]] = {
     ),
     "ConnectionLimitError": lambda msg, params: ConnectionLimitError(
         params[0] if len(params) > 0 else 0,
+        params[1] if len(params) > 1 else 0,
+    ),
+    "SubscriberEvictedError": lambda msg, params: SubscriberEvictedError(
+        params[0] if len(params) > 0 else 1,
         params[1] if len(params) > 1 else 0,
     ),
     "EncodingError": lambda msg, params: EncodingError(msg),
@@ -193,6 +198,27 @@ class ClientConnection:
                 f"[1, {self.max_frame_bytes}]"
             )
         return self._recv_exact(length, deadline)
+
+    def recv_stream_frame(self, idle_timeout: float) -> Optional[bytes]:
+        """Wait up to ``idle_timeout`` for a server-initiated frame.
+
+        The push-capable receive used by subscription sessions: returns
+        the next frame, or ``None`` when the line stayed *completely*
+        quiet for the window (the caller's cue to send a keepalive
+        ping).  A timeout that strikes after any byte has landed is a
+        mid-frame stall — unrecoverable at the framing layer — and
+        surfaces as :class:`RequestTimeoutError` like the request path.
+        """
+        deadline = time.monotonic() + idle_timeout
+        self.received_any = False
+        try:
+            frame = self.recv_frame(deadline)
+        except RequestTimeoutError:
+            if self.received_any:
+                raise  # half a frame arrived: the stream cannot resync
+            return None
+        self.last_used = time.monotonic()
+        return frame
 
     def request(self, frame: bytes, timeout: float) -> bytes:
         """One request/response exchange under a single deadline."""

@@ -46,6 +46,12 @@ _DISPATCH = {
     _messages._MSG_AGG_BATCH_REQUEST: "handle_batch_query",
 }
 
+#: Connection-scoped tags a queue-based server cannot serve (see submit).
+_SUBSCRIPTION_TAGS = (
+    _messages._MSG_SUBSCRIBE_REQUEST,
+    _messages._MSG_UNSUBSCRIBE_REQUEST,
+)
+
 _SHUTDOWN = object()
 
 
@@ -133,6 +139,18 @@ class QueryServer:
         if not payload:
             raise QueryError("empty request payload")
         if payload[0] not in _DISPATCH:
+            if payload[0] in _SUBSCRIPTION_TAGS:
+                # Tags 14/16 are connection-scoped: a subscription binds
+                # a watch set to one socket's push channel, which a
+                # request queue has no notion of.  NetServer handles
+                # them before the queue; reaching here means the caller
+                # used the in-process submit path.
+                raise QueryError(
+                    f"request tag {payload[0]} is a subscription message; "
+                    f"subscriptions require a push-capable transport "
+                    f"(serve the node over NetServer with a "
+                    f"SubscriptionRegistry)"
+                )
             raise QueryError(f"unknown request tag {payload[0]}")
         request = _PendingRequest(payload, Future())
         with self._submit_lock:

@@ -30,6 +30,12 @@ verification machinery, entirely client-local (no wire change):
   re-queries every previously answered request whose range the reorg
   replaced, since those verified histories were proven against headers
   that are no longer the canonical chain.
+
+The *streaming* counterpart lives in :mod:`repro.node.subscribe`:
+:class:`~repro.node.subscribe.SubscriptionSession` applies the same
+deny-but-never-deceive discipline (and this module's
+:class:`RetryPolicy` backoff) to server-pushed watch updates, where the
+re-query-on-reorg semantics above become pushed retraction frames.
 """
 
 from __future__ import annotations

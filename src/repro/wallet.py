@@ -82,6 +82,63 @@ class Wallet:
             self.refresh(full_node)
         return replaced, appended
 
+    # -- streaming ------------------------------------------------------------
+
+    def apply_event(self, event) -> bool:
+        """Merge one verified :mod:`~repro.node.subscribe` watch event.
+
+        The streaming companion to :meth:`refresh`: events arriving from
+        a :class:`~repro.node.subscribe.SubscriptionSession` were already
+        verified before they were surfaced, so the wallet folds them
+        straight into its histories —
+
+        * **update/backfill** — replace the covered height range for
+          every watched address the event carries;
+        * **retract** — drop every transaction above the fork height
+          (the replacement blocks follow as further updates).
+
+        Only addresses with an existing verified baseline are merged (an
+        update proves a *range*, not history-since-genesis — an address
+        never refreshed has no verified prefix to extend).  Returns True
+        when the event changed wallet state.
+        """
+        kind = getattr(event, "kind", None)
+        if kind in ("update", "backfill"):
+            first, last = event.first_height, event.last_height
+            changed = False
+            for address, incoming in event.histories.items():
+                baseline = self._histories.get(address)
+                if baseline is None or address not in self._addresses:
+                    continue
+                kept = [
+                    (height, tx)
+                    for height, tx in baseline.transactions
+                    if height < first or height > last
+                ]
+                merged = kept + list(incoming.transactions)
+                merged.sort(key=lambda entry: entry[0])
+                self._histories[address] = VerifiedHistory(
+                    address, merged, baseline.num_endpoints
+                )
+                changed = True
+            return changed
+        if kind == "retract":
+            fork = event.fork_height
+            changed = False
+            for address, baseline in list(self._histories.items()):
+                kept = [
+                    (height, tx)
+                    for height, tx in baseline.transactions
+                    if height <= fork
+                ]
+                if len(kept) != len(baseline.transactions):
+                    self._histories[address] = VerifiedHistory(
+                        address, kept, baseline.num_endpoints
+                    )
+                    changed = True
+            return changed
+        return False  # eviction/disconnect/closed carry no chain data
+
     # -- verified views ---------------------------------------------------------
 
     def balance(self, address: str) -> int:
