@@ -302,6 +302,7 @@ def cmd_serve(args) -> int:
     import signal
     import threading
 
+    from repro.node.metrics import MetricsServer
     from repro.node.net import NetServer
     from repro.node.server import QueryServer
     from repro.node.subscribe import SubscriptionRegistry
@@ -317,6 +318,8 @@ def cmd_serve(args) -> int:
         node,
         num_workers=args.workers,
         max_pending=args.max_pending,
+        rate_limit=args.rate_limit if args.rate_limit > 0 else None,
+        rate_burst=args.rate_burst if args.rate_burst > 0 else None,
     )
     registry = SubscriptionRegistry(node, max_outbox=args.push_outbox)
     server = NetServer(
@@ -331,6 +334,15 @@ def cmd_serve(args) -> int:
         push_outbox=args.push_outbox,
     )
     server.start()
+    metrics: "Optional[MetricsServer]" = None
+    if args.metrics_port is not None:
+        metrics = MetricsServer(
+            host=args.host,
+            port=args.metrics_port,
+            server=query_server,
+            net=server,
+            subscriptions=registry,
+        ).start()
     stop = threading.Event()
     signal.signal(signal.SIGTERM, lambda *_: stop.set())
     signal.signal(signal.SIGINT, lambda *_: stop.set())
@@ -359,6 +371,15 @@ def cmd_serve(args) -> int:
     # Parseable by scripts/tests: the kernel picks the port when 0.
     print(f"serving on {server.host}:{server.port}", flush=True)
     print(
+        f"  limits: workers={args.workers} queue-depth={args.max_pending} "
+        f"max-connections={args.max_connections} "
+        f"rate-limit={args.rate_limit if args.rate_limit > 0 else 'off'}",
+        flush=True,
+    )
+    if metrics is not None:
+        metrics_host, metrics_port = metrics.address
+        print(f"metrics on {metrics_host}:{metrics_port}", flush=True)
+    print(
         f"  chain: {args.blocks} blocks, tip height {system.tip_height}"
         + (f", mining {mine_blocks} more every {args.mine_interval}s"
            if mine_blocks else ""),
@@ -371,6 +392,8 @@ def cmd_serve(args) -> int:
         if miner is not None:
             miner.join(timeout=5.0)
         print("draining...", flush=True)
+        if metrics is not None:
+            metrics.close()
         registry.close()
         server.close(drain=True, timeout=args.drain_timeout)
         query_server.close(drain=True, timeout=args.drain_timeout)
@@ -504,8 +527,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=0, help="0 = kernel-assigned"
     )
     serve.add_argument("--workers", type=int, default=4)
-    serve.add_argument("--max-pending", type=int, default=64)
+    serve.add_argument(
+        "--queue-depth",
+        "--max-pending",
+        dest="max_pending",
+        type=int,
+        default=64,
+        help="bound on admitted-but-unstarted requests",
+    )
     serve.add_argument("--max-connections", type=int, default=64)
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        help="per-client requests/second budget (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=float,
+        default=0.0,
+        help="per-client token-bucket burst (0 = 2x rate)",
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve Prometheus-style /metrics on this port (0 = kernel pick)",
+    )
     serve.add_argument("--idle-timeout", type=float, default=30.0)
     serve.add_argument("--read-timeout", type=float, default=10.0)
     serve.add_argument("--write-timeout", type=float, default=10.0)

@@ -61,7 +61,32 @@ class QueryError(ReproError):
     """The full node could not serve a query (unknown system, bad range)."""
 
 
-class ServerOverloadedError(QueryError):
+class BackpressureError(QueryError):
+    """Base class for benign "the server is shedding load" refusals.
+
+    Overload is traffic, not malice: an honest server under a burst
+    rejects work with a typed frame instead of collapsing, and a client
+    must treat that frame as a *backoff signal* — honor the optional
+    ``retry_after`` hint (seconds) and try again later — never as
+    grounds for quarantine-ladder escalation or a ban (see
+    ``Peer.record_overload``).
+    """
+
+    def __init__(
+        self, message: str, *, retry_after: "float | None" = None
+    ) -> None:
+        super().__init__(message)
+        #: Server-suggested wait in seconds before retrying (optional).
+        self.retry_after = retry_after
+
+    def details(self) -> "dict[str, object]":
+        return {
+            "kind": type(self).__name__,
+            "retry_after": self.retry_after,
+        }
+
+
+class ServerOverloadedError(BackpressureError):
     """A query server's bounded request queue rejected new work.
 
     The backpressure signal of :class:`repro.node.server.QueryServer`:
@@ -73,10 +98,16 @@ class ServerOverloadedError(QueryError):
     * ``max_pending`` — the configured queue bound.
     """
 
-    def __init__(self, pending: int, max_pending: int) -> None:
+    def __init__(
+        self,
+        pending: int,
+        max_pending: int,
+        retry_after: "float | None" = None,
+    ) -> None:
         super().__init__(
             f"server overloaded: {pending} requests pending "
-            f"(bound {max_pending})"
+            f"(bound {max_pending})",
+            retry_after=retry_after,
         )
         self.pending = pending
         self.max_pending = max_pending
@@ -86,10 +117,75 @@ class ServerOverloadedError(QueryError):
             "kind": type(self).__name__,
             "pending": self.pending,
             "max_pending": self.max_pending,
+            "retry_after": self.retry_after,
         }
 
 
-class ConnectionLimitError(QueryError):
+class RateLimitedError(BackpressureError):
+    """One client exceeded its per-client token-bucket rate budget.
+
+    Unlike :class:`ServerOverloadedError` this is not a statement about
+    the server's global queue — only about one client's recent request
+    rate.  ``client`` is the identity the bucket is keyed by (connection
+    peer, or the id declared in a hello frame); ``retry_after`` is when
+    the bucket next holds a token.
+    """
+
+    def __init__(
+        self, client: str, retry_after: "float | None" = None
+    ) -> None:
+        hint = f"; retry after {retry_after:.3f}s" if retry_after else ""
+        super().__init__(
+            f"client {client!r} exceeded its request rate budget{hint}",
+            retry_after=retry_after,
+        )
+        self.client = client
+
+    def details(self) -> "dict[str, object]":
+        return {
+            "kind": type(self).__name__,
+            "client": self.client,
+            "retry_after": self.retry_after,
+        }
+
+
+class RequestShedError(BackpressureError):
+    """The watermark load-shedder refused this priority class.
+
+    Staged degradation (DESIGN.md §11): past the first watermark the
+    server sheds batch-class work, past the second everything but
+    interactive queries, past the third everything that would queue —
+    so high-priority traffic keeps its latency while the excess is
+    absorbed as typed, retryable rejections instead of a collapse.
+
+    * ``priority`` — the rejected request's priority class name.
+    * ``state`` — the shedder state that refused it (``shed_batch``,
+      ``shed_low`` or ``shed_all``).
+    """
+
+    def __init__(
+        self,
+        priority: str,
+        state: str,
+        retry_after: "float | None" = None,
+    ) -> None:
+        super().__init__(
+            f"{priority} request shed (server in {state})",
+            retry_after=retry_after,
+        )
+        self.priority = priority
+        self.state = state
+
+    def details(self) -> "dict[str, object]":
+        return {
+            "kind": type(self).__name__,
+            "priority": self.priority,
+            "state": self.state,
+            "retry_after": self.retry_after,
+        }
+
+
+class ConnectionLimitError(BackpressureError):
     """A network server refused a new connection at its concurrency gate.
 
     Sent as a typed error frame before the server closes the socket, so
@@ -100,10 +196,16 @@ class ConnectionLimitError(QueryError):
     * ``max_connections`` — the configured gate.
     """
 
-    def __init__(self, active: int, max_connections: int) -> None:
+    def __init__(
+        self,
+        active: int,
+        max_connections: int,
+        retry_after: "float | None" = None,
+    ) -> None:
         super().__init__(
             f"connection limit reached: {active} active "
-            f"(bound {max_connections})"
+            f"(bound {max_connections})",
+            retry_after=retry_after,
         )
         self.active = active
         self.max_connections = max_connections
@@ -113,6 +215,7 @@ class ConnectionLimitError(QueryError):
             "kind": type(self).__name__,
             "active": self.active,
             "max_connections": self.max_connections,
+            "retry_after": self.retry_after,
         }
 
 

@@ -40,6 +40,13 @@ _MSG_UNSUBSCRIBE_REQUEST = 22
 _MSG_PUSH_UPDATE = 23
 _MSG_PUSH_RETRACTION = 24
 _MSG_SUBSCRIPTION_EVICTED = 25
+_MSG_HELLO = 26
+
+#: Wire encodings for RequestShedError params (PROTOCOL.md §11.3): the
+#: priority class and shed state ride as indices into these tuples so a
+#: client rebuilds the typed refusal without trusting free-form strings.
+SHED_PRIORITIES = ("interactive", "sync", "batch", "backfill")
+SHED_STATES = ("normal", "shed_batch", "shed_low", "shed_all")
 
 
 def _zigzag(n: int) -> int:
@@ -419,16 +426,40 @@ class ErrorResponse:
     @classmethod
     def from_exception(cls, error: Exception) -> "ErrorResponse":
         from repro.errors import (
+            BackpressureError,
             ConnectionLimitError,
+            RateLimitedError,
+            RequestShedError,
             ServerOverloadedError,
             SubscriberEvictedError,
         )
 
+        def _retry_ms(err: BackpressureError) -> int:
+            # Wire params are non-negative varints; the retry-after hint
+            # rides as integer milliseconds (0 = no hint).
+            if err.retry_after is None or err.retry_after <= 0:
+                return 0
+            return max(1, int(err.retry_after * 1000.0))
+
+        def _index(options: "tuple[str, ...]", name: str) -> int:
+            try:
+                return options.index(name)
+            except ValueError:
+                return len(options)  # out-of-range = "unknown" on rebuild
+
         params: "tuple[int, ...]" = ()
         if isinstance(error, ServerOverloadedError):
-            params = (error.pending, error.max_pending)
+            params = (error.pending, error.max_pending, _retry_ms(error))
         elif isinstance(error, ConnectionLimitError):
-            params = (error.active, error.max_connections)
+            params = (error.active, error.max_connections, _retry_ms(error))
+        elif isinstance(error, RateLimitedError):
+            params = (_retry_ms(error),)
+        elif isinstance(error, RequestShedError):
+            params = (
+                _index(SHED_PRIORITIES, error.priority),
+                _index(SHED_STATES, error.state),
+                _retry_ms(error),
+            )
         elif isinstance(error, SubscriberEvictedError):
             params = (error.subscription_id, error.dropped_frames)
         return cls(type(error).__name__, str(error), params)
@@ -524,6 +555,50 @@ class PongResponse:
         tip_height = reader.varint()
         reader.finish()
         return cls(nonce, tip_height)
+
+
+#: Hard bound on a declared client id: identity is an accounting key,
+#: not a payload — a hostile peer must not stuff kilobytes into it.
+MAX_CLIENT_ID_BYTES = 64
+
+
+class HelloRequest:
+    """Client → server: declare a client identity for this connection.
+
+    Optional and purely operational (§11): the id keys the server's
+    per-client token bucket, so a wallet fleet behind one NAT is rate-
+    limited per wallet instead of per source address.  Answered inline
+    with a :class:`PongResponse` (nonce 0) carrying the advisory tip —
+    like the ping path, a hello never queues behind query work.  The id
+    grants nothing: it can only *narrow* a rate bucket, and an unsent
+    hello leaves the connection keyed by its socket peer.
+    """
+
+    __slots__ = ("client_id",)
+
+    type_tag = _MSG_HELLO
+
+    def __init__(self, client_id: str) -> None:
+        if not client_id:
+            raise EncodingError("hello needs a non-empty client id")
+        if len(client_id.encode("utf-8")) > MAX_CLIENT_ID_BYTES:
+            raise EncodingError(
+                f"client id exceeds {MAX_CLIENT_ID_BYTES} bytes"
+            )
+        self.client_id = client_id
+
+    def serialize(self) -> bytes:
+        return bytes([self.type_tag]) + write_var_bytes(
+            self.client_id.encode("utf-8")
+        )
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "HelloRequest":
+        reader = ByteReader(payload)
+        _expect_tag(reader, cls.type_tag)
+        client_id = _utf8(reader.var_bytes())
+        reader.finish()
+        return cls(client_id)
 
 
 #: Hard bound on watch-set size: large enough for any wallet, small

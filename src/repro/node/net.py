@@ -101,6 +101,7 @@ class NetServerStats:
         "bytes_out",
         "errors_sent",
         "pings",
+        "hellos",
         "pushes",
         "subscriptions_accepted",
         "subscribers_reaped",
@@ -117,6 +118,7 @@ class NetServerStats:
         self.bytes_out = 0
         self.errors_sent = 0
         self.pings = 0
+        self.hellos = 0
         self.pushes = 0
         self.subscriptions_accepted = 0
         self.subscribers_reaped = 0
@@ -143,11 +145,14 @@ class _Target:
     def tip_height(self) -> int:
         return self.node.tip_height
 
-    async def serve(self, payload: bytes) -> bytes:
+    async def serve(
+        self, payload: bytes, client: Optional[str] = None
+    ) -> bytes:
         if self.query_server is not None:
-            # submit() raises synchronously on overload/unknown tag; the
-            # caller turns either into a typed error frame.
-            future = self.query_server.submit(payload)
+            # submit() raises synchronously on admission refusal (rate
+            # limited / shed / queue full) or unknown tag; the caller
+            # turns any of them into a typed error frame.
+            future = self.query_server.submit(payload, client)
             return await asyncio.wrap_future(future)
         if not payload:
             raise QueryError("empty request payload")
@@ -256,14 +261,23 @@ class _ConnState:
     ``write_lock`` serializes response and push writes on one socket so
     a pushed frame can never interleave with a response frame's bytes;
     ``channel``/``push_task`` exist only once the connection subscribes.
+    ``peer`` is the socket peer host — the default rate-limit identity —
+    and ``client_id`` the finer identity a §11 hello frame declared.
     """
 
-    __slots__ = ("write_lock", "channel", "push_task")
+    __slots__ = ("write_lock", "channel", "push_task", "peer", "client_id")
 
-    def __init__(self) -> None:
+    def __init__(self, peer: str = "") -> None:
         self.write_lock = asyncio.Lock()
         self.channel: Optional[_PushChannel] = None
         self.push_task: Optional[asyncio.Task] = None
+        self.peer = peer
+        self.client_id: Optional[str] = None
+
+    @property
+    def client(self) -> str:
+        """Rate-limit identity: the declared id, else the peer host."""
+        return self.client_id if self.client_id else self.peer
 
 
 class NetServer:
@@ -452,7 +466,9 @@ class NetServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        state = _ConnState()
+        peername = writer.get_extra_info("peername")
+        peer = str(peername[0]) if peername else "unknown"
+        state = _ConnState(peer)
         try:
             await self._serve_frames(reader, writer, state)
         finally:
@@ -643,8 +659,19 @@ class NetServer:
                 response = _messages.PongResponse(
                     ping.nonce, self._target.tip_height
                 ).serialize()
+            elif payload and payload[0] == _messages.HelloRequest.type_tag:
+                # A hello narrows this connection's rate-limit identity
+                # from the socket peer host to the declared client id
+                # (PROTOCOL.md §11.2).  It grants nothing — answered
+                # inline like a ping, never queued, never shed.
+                hello = _messages.HelloRequest.deserialize(payload)
+                state.client_id = hello.client_id
+                self.stats.hellos += 1
+                response = _messages.PongResponse(
+                    0, self._target.tip_height
+                ).serialize()
             else:
-                response = await self._target.serve(payload)
+                response = await self._target.serve(payload, state.client)
         except ReproError as error:
             self.stats.errors_sent += 1
             response = _messages.ErrorResponse.from_exception(error).serialize()

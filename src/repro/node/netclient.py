@@ -34,16 +34,26 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import (
+    BackpressureError,
     ConnectionLimitError,
     ChainError,
     EncodingError,
     QueryError,
+    RateLimitedError,
+    RequestShedError,
     RequestTimeoutError,
     ServerOverloadedError,
     SubscriberEvictedError,
     TransportError,
 )
-from repro.node.messages import ErrorResponse, PingRequest, PongResponse
+from repro.node.messages import (
+    SHED_PRIORITIES,
+    SHED_STATES,
+    ErrorResponse,
+    HelloRequest,
+    PingRequest,
+    PongResponse,
+)
 from repro.node.net import FRAME_HEADER
 from repro.node.transport import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -53,6 +63,20 @@ from repro.node.transport import (
     decompress_frame,
 )
 
+def _retry_seconds(params: Tuple[int, ...], position: int) -> "float | None":
+    """Decode a retry-after-milliseconds wire param (0 / absent = none),
+    clamped so a hostile hint cannot park a client for hours."""
+    if len(params) <= position or params[position] <= 0:
+        return None
+    return min(params[position] / 1000.0, 30.0)
+
+
+def _name_at(options: Tuple[str, ...], params: Tuple[int, ...], position: int) -> str:
+    if len(params) > position and 0 <= params[position] < len(options):
+        return options[params[position]]
+    return "unknown"
+
+
 #: Wire error kinds a client will rebuild as their original type.  Only
 #: *benign* kinds are mapped — a malicious server naming anything else
 #: (or inventing kinds) degrades to a generic :class:`TransportError`,
@@ -61,10 +85,20 @@ _WIRE_ERRORS: Dict[str, Callable[[str, Tuple[int, ...]], Exception]] = {
     "ServerOverloadedError": lambda msg, params: ServerOverloadedError(
         params[0] if len(params) > 0 else 0,
         params[1] if len(params) > 1 else 0,
+        retry_after=_retry_seconds(params, 2),
     ),
     "ConnectionLimitError": lambda msg, params: ConnectionLimitError(
         params[0] if len(params) > 0 else 0,
         params[1] if len(params) > 1 else 0,
+        retry_after=_retry_seconds(params, 2),
+    ),
+    "RateLimitedError": lambda msg, params: RateLimitedError(
+        "self", retry_after=_retry_seconds(params, 0)
+    ),
+    "RequestShedError": lambda msg, params: RequestShedError(
+        _name_at(SHED_PRIORITIES, params, 0),
+        _name_at(SHED_STATES, params, 1),
+        retry_after=_retry_seconds(params, 2),
     ),
     "SubscriberEvictedError": lambda msg, params: SubscriberEvictedError(
         params[0] if len(params) > 0 else 1,
@@ -294,6 +328,7 @@ class ConnectionPool:
         backoff_jitter: float = 0.25,
         health_check_idle: float = 5.0,
         seed: int = 0,
+        client_id: Optional[str] = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"pool needs at least one slot, got {size}")
@@ -303,6 +338,9 @@ class ConnectionPool:
         self.request_timeout = request_timeout
         self.max_frame_bytes = max_frame_bytes
         self.codec = codec
+        #: Identity declared to the server via a §11 hello frame on every
+        #: fresh connection (None = identified by socket peer host only).
+        self.client_id = client_id
         self.backoff_base = backoff_base
         self.backoff_multiplier = backoff_multiplier
         self.backoff_max = backoff_max
@@ -313,6 +351,7 @@ class ConnectionPool:
         self._idle: List[ClientConnection] = []
         self._consecutive_failures = 0
         self._blocked_until = 0.0
+        self._deferred_until = 0.0
         self._closed = False
         self.stats: Dict[str, float] = {
             "connects": 0,
@@ -323,6 +362,9 @@ class ConnectionPool:
             "failovers": 0,
             "health_evictions": 0,
             "pings": 0,
+            "hellos": 0,
+            "backpressure_signals": 0,
+            "backpressure_wait_seconds": 0.0,
         }
 
     # -- connection management --------------------------------------------
@@ -365,6 +407,22 @@ class ConnectionPool:
             self._consecutive_failures = 0
             self._blocked_until = 0.0
             self.stats["connects"] += 1
+        if self.client_id is not None:
+            # Declare this pool's identity before any real request, so
+            # the server's rate buckets key on it from the first frame.
+            try:
+                response = connection.request(
+                    HelloRequest(self.client_id).serialize(),
+                    self.request_timeout,
+                )
+            except (TransportError, EncodingError):
+                connection.close()
+                raise
+            if response and response[0] == ErrorResponse.type_tag:
+                connection.close()
+                raise error_from_frame(ErrorResponse.deserialize(response))
+            with self._lock:
+                self.stats["hellos"] += 1
         return connection
 
     def _healthy(self, connection: ClientConnection) -> bool:
@@ -408,6 +466,44 @@ class ConnectionPool:
                 return
         connection.close()
 
+    # -- backpressure ------------------------------------------------------
+
+    def defer(self, seconds: float) -> None:
+        """Hold future requests for ``seconds`` (a server retry-after)."""
+        if seconds <= 0:
+            return
+        until = time.monotonic() + min(seconds, 30.0)
+        with self._lock:
+            if until > self._deferred_until:
+                self._deferred_until = until
+
+    def _observe_backpressure(self, response: bytes) -> None:
+        """Honor the retry-after hint riding on a §11 refusal frame.
+
+        The pool waits before its *next* request instead of hammering an
+        overloaded server — the typed error still flows to the caller
+        untouched.  A malformed error frame is ignored here; the caller
+        decodes (and rejects) it through the strict path.
+        """
+        if not response or response[0] != ErrorResponse.type_tag:
+            return
+        try:
+            error = error_from_frame(ErrorResponse.deserialize(response))
+        except Exception:  # noqa: BLE001 - strict decode happens upstream
+            return
+        if isinstance(error, BackpressureError) and error.retry_after:
+            with self._lock:
+                self.stats["backpressure_signals"] += 1
+            self.defer(error.retry_after)
+
+    def _wait_deferred(self) -> None:
+        with self._lock:
+            pause = self._deferred_until - time.monotonic()
+        if pause > 0:
+            with self._lock:
+                self.stats["backpressure_wait_seconds"] += pause
+            time.sleep(pause)
+
     # -- request path ------------------------------------------------------
 
     def request(self, payload: bytes) -> bytes:
@@ -419,8 +515,12 @@ class ConnectionPool:
         :class:`EncodingError`.  A request that died on a *reused*
         connection before any response byte arrived is retried once on a
         fresh connection; everything else is the caller's retry decision
-        (``QuerySession`` already makes it).
+        (``QuerySession`` already makes it).  When the previous exchange
+        brought back a §11 backpressure frame with a retry-after hint,
+        the pool sleeps the hint out before this request goes on the
+        wire.
         """
+        self._wait_deferred()
         if self.codec is not None:
             frame = compress_frame(
                 payload, self.codec, max_frame_bytes=self.max_frame_bytes
@@ -456,7 +556,9 @@ class ConnectionPool:
                     self.stats["request_failures"] += 1
                 raise
             self._release(connection)
-            return decompress_frame(raw, self.max_frame_bytes)
+            response = decompress_frame(raw, self.max_frame_bytes)
+            self._observe_backpressure(response)
+            return response
         with self._lock:
             self.stats["request_failures"] += 1
         raise last_error  # pragma: no cover - loop always raised/returned

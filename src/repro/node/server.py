@@ -1,23 +1,33 @@
 """A concurrent query-serving front end over :class:`FullNode`.
 
 :class:`QueryServer` is the piece the ROADMAP's "heavy traffic" goal
-needs on the serving side: a fixed pool of worker threads draining a
-bounded request queue in FIFO order.  The pieces fit together as
+needs on the serving side: a fixed pool of worker threads draining an
+admission-controlled, weighted-fair request queue.  The pieces fit
+together as
 
-* **backpressure** — submissions beyond ``max_pending`` queued requests
-  fail *immediately* with :class:`ServerOverloadedError` instead of
-  growing an unbounded backlog, so an overloaded node degrades into
-  fast rejections that a resilient client (``QuerySession``) treats
-  like any other transient peer failure;
+* **admission control** — every submission passes through
+  :class:`~repro.node.admission.AdmissionController`: a per-client
+  token bucket (one hot client runs out of budget before it can crowd
+  anyone else), watermark load shedding (past 50%/75%/90% of the queue
+  bound the server refuses batch → low-priority → everything, in
+  stages), and a hard queue bound — each refusal a typed
+  :class:`~repro.errors.BackpressureError` with a retry-after hint, so
+  an overloaded node degrades into fast, honest rejections that a
+  resilient client (``QuerySession``) treats as backoff signals;
+* **fair scheduling** — admitted requests drain in deficit-weighted
+  round-robin across priority classes (interactive > sync > batch >
+  backfill), so a batch backlog delays an interactive query by at most
+  one scheduling round instead of a full FIFO traversal;
 * **concurrency safety** — workers call the node's RPC handlers, which
   take the system's read lock; ``append_block`` takes the write lock,
   so serving threads and the mining path interleave without torn state;
 * **coalescing** — identical concurrent queries collapse into one proof
   generation inside the node's single-flight response cache, so a
   thundering herd on a hot address costs one computation;
-* **observability** — per-request wait/service/total latency and queue
-  depth are recorded; :meth:`stats` reports counts, p50/p99, and the
-  node's cache counters.
+* **observability** — per-request wait/service/total latency, queue
+  depth, and every admission counter are recorded; :meth:`stats`
+  reports counts, p50/p99, cache counters, and the admission state
+  (exported in Prometheus text form by :mod:`repro.node.metrics`).
 
 The request/response payloads are the exact wire messages of
 :mod:`repro.node.messages`; :meth:`submit` dispatches on the type tag,
@@ -26,15 +36,15 @@ so a transport can hand every inbound frame to one entry point.
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from repro.errors import QueryError, ServerOverloadedError
+from repro.errors import BackpressureError, QueryError
 from repro.node import messages as _messages
+from repro.node.admission import DEFAULT_WEIGHTS, AdmissionController
 from repro.node.full_node import FullNode
 
 #: Message type tag → FullNode handler name.
@@ -51,8 +61,6 @@ _SUBSCRIPTION_TAGS = (
     _messages._MSG_SUBSCRIBE_REQUEST,
     _messages._MSG_UNSUBSCRIBE_REQUEST,
 )
-
-_SHUTDOWN = object()
 
 
 class _PendingRequest:
@@ -85,7 +93,13 @@ def _latency_summary(samples: Sequence[float]) -> "dict[str, float]":
 
 
 class QueryServer:
-    """A worker pool serving one :class:`FullNode` to many clients."""
+    """A worker pool serving one :class:`FullNode` to many clients.
+
+    ``rate_limit`` (requests/second per client identity, ``None``
+    disables) and ``rate_burst`` configure the per-client token
+    buckets; ``watermarks`` overrides the staged-shedding entry depths
+    (defaults to 50%/75%/90% of ``max_pending``).
+    """
 
     def __init__(
         self,
@@ -93,15 +107,24 @@ class QueryServer:
         num_workers: int = 4,
         max_pending: int = 64,
         latency_window: int = 8192,
+        *,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[float] = None,
+        weights: Sequence[int] = DEFAULT_WEIGHTS,
+        watermarks: "Optional[Tuple[int, int, int]]" = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"need at least one worker, got {num_workers}")
-        if max_pending < 1:
-            raise ValueError(f"queue bound must be >= 1, got {max_pending}")
         self.node = node
         self.num_workers = num_workers
         self.max_pending = max_pending
-        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=max_pending)
+        self.admission = AdmissionController(
+            max_pending,
+            rate_limit=rate_limit,
+            rate_burst=rate_burst,
+            weights=weights,
+            watermarks=watermarks,
+        )
         self._submit_lock = threading.Lock()
         self._closed = False
 
@@ -112,6 +135,8 @@ class QueryServer:
         self._failed = 0
         self._reorgs = 0
         self._in_flight = 0
+        self._accepted = 0
+        self._finished = 0
         self._peak_queue_depth = 0
         self._total_latency: "deque[float]" = deque(maxlen=latency_window)
         self._wait_latency: "deque[float]" = deque(maxlen=latency_window)
@@ -130,17 +155,23 @@ class QueryServer:
 
     # -- client API ----------------------------------------------------------
 
-    def submit(self, payload: bytes) -> "Future[bytes]":
+    def submit(
+        self, payload: bytes, client: Optional[str] = None
+    ) -> "Future[bytes]":
         """Queue one raw request frame; resolves to the response bytes.
 
-        Raises :class:`ServerOverloadedError` when the pending queue is
-        full (backpressure) and :class:`QueryError` once closed.
+        ``client`` is the submitter's identity for rate limiting (the
+        connection peer or hello-declared id; ``None`` bypasses the
+        limiter — trusted in-process callers).  Raises a typed
+        :class:`~repro.errors.BackpressureError` subclass when admission
+        refuses (rate limited / shed / queue full) and
+        :class:`QueryError` once closed.
         """
         if not payload:
             raise QueryError("empty request payload")
         if payload[0] not in _DISPATCH:
             if payload[0] in _SUBSCRIPTION_TAGS:
-                # Tags 14/16 are connection-scoped: a subscription binds
+                # Tags 20/22 are connection-scoped: a subscription binds
                 # a watch set to one socket's push channel, which a
                 # request queue has no notion of.  NetServer handles
                 # them before the queue; reaching here means the caller
@@ -157,26 +188,29 @@ class QueryServer:
             if self._closed:
                 raise QueryError("query server is closed")
             try:
-                self._queue.put_nowait(request)
-            except queue.Full:
+                priority = self.admission.submit(payload, client)
+            except BackpressureError:
                 with self._stats_lock:
                     self._rejected += 1
-                raise ServerOverloadedError(
-                    self._queue.qsize(), self.max_pending
-                ) from None
+                raise
+            depth = self.admission.enqueue(priority, request)
         with self._stats_lock:
             self._submitted += 1
-            depth = self._queue.qsize()
+            self._accepted += 1
             if depth > self._peak_queue_depth:
                 self._peak_queue_depth = depth
         return request.future
 
     def submit_query(
-        self, address: str, first_height: int = 1, last_height: int = 0
+        self,
+        address: str,
+        first_height: int = 1,
+        last_height: int = 0,
+        client: Optional[str] = None,
     ) -> "Future[bytes]":
         """Convenience: build and queue a history-query frame."""
         request = _messages.QueryRequest(address, first_height, last_height)
-        return self.submit(request.serialize())
+        return self.submit(request.serialize(), client)
 
     def query(
         self,
@@ -225,7 +259,7 @@ class QueryServer:
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             with self._stats_lock:
-                idle = self._queue.empty() and self._in_flight == 0
+                idle = self._accepted == self._finished
             if idle:
                 return True
             if deadline is not None and time.monotonic() > deadline:
@@ -242,18 +276,15 @@ class QueryServer:
             if self._closed:
                 return
             self._closed = True
-        if not drain:
-            while True:
-                try:
-                    item = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                if item is not _SHUTDOWN:
-                    item.future.set_exception(
-                        QueryError("query server closed before request ran")
-                    )
-        for _ in self._workers:
-            self._queue.put(_SHUTDOWN)
+        if drain:
+            self.drain(timeout)
+        pending = self.admission.close()
+        for _priority, item in pending:
+            item.future.set_exception(
+                QueryError("query server closed before request ran")
+            )
+            with self._stats_lock:
+                self._finished += 1
         for worker in self._workers:
             worker.join(timeout)
 
@@ -267,11 +298,15 @@ class QueryServer:
 
     def _worker_loop(self) -> None:
         while True:
-            item = self._queue.get()
-            if item is _SHUTDOWN:
+            popped = self.admission.next_request()
+            if popped is None:
                 return
+            priority, item = popped
             started_at = time.perf_counter()
             if not item.future.set_running_or_notify_cancel():
+                self.admission.request_done(priority, 0.0)
+                with self._stats_lock:
+                    self._finished += 1
                 continue
             with self._stats_lock:
                 self._in_flight += 1
@@ -285,8 +320,10 @@ class QueryServer:
                 succeeded = True
                 item.future.set_result(response)
             finished_at = time.perf_counter()
+            self.admission.request_done(priority, finished_at - started_at)
             with self._stats_lock:
                 self._in_flight -= 1
+                self._finished += 1
                 if succeeded:
                     self._completed += 1
                 else:
@@ -299,6 +336,7 @@ class QueryServer:
 
     def stats(self) -> "dict[str, object]":
         """Snapshot of counters, latency percentiles and cache state."""
+        admission = self.admission.stats_dict()
         with self._stats_lock:
             report = {
                 "workers": self.num_workers,
@@ -309,12 +347,13 @@ class QueryServer:
                 "failed": self._failed,
                 "reorgs": self._reorgs,
                 "in_flight": self._in_flight,
-                "queue_depth": self._queue.qsize(),
+                "queue_depth": admission["queue_depth"],
                 "peak_queue_depth": self._peak_queue_depth,
                 "latency": _latency_summary(self._total_latency),
                 "queue_wait": _latency_summary(self._wait_latency),
                 "service": _latency_summary(self._service_latency),
             }
+        report["admission"] = admission
         report["caches"] = {
             "responses": self.node.response_cache.stats(),
             **self.node.system.caches.stats(),

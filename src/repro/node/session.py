@@ -44,6 +44,7 @@ import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import (
+    BackpressureError,
     EncodingError,
     NoHonestPeerError,
     PeerQuarantinedError,
@@ -119,6 +120,7 @@ class PeerStats:
         "transport_failures",
         "verification_failures",
         "timeouts",
+        "overloads",
         "transport",
     )
 
@@ -128,6 +130,7 @@ class PeerStats:
         self.transport_failures = 0
         self.verification_failures = 0
         self.timeouts = 0
+        self.overloads = 0
         self.transport = TransportStats()
 
     def as_dict(self) -> Dict[str, object]:
@@ -137,6 +140,7 @@ class PeerStats:
             "transport_failures": self.transport_failures,
             "verification_failures": self.verification_failures,
             "timeouts": self.timeouts,
+            "overloads": self.overloads,
             **self.transport.as_dict(),
         }
 
@@ -161,6 +165,7 @@ class Peer:
         "banned",
         "ban_reason",
         "quarantined_until",
+        "overloaded_until",
         "consecutive_failures",
         "stats",
     )
@@ -178,6 +183,10 @@ class Peer:
         self.banned = False
         self.ban_reason: Optional[str] = None
         self.quarantined_until = 0.0
+        #: Flat hold-off from a §11 backpressure frame — deliberately a
+        #: separate field from ``quarantined_until`` so overload never
+        #: feeds the quarantine ladder (or the ban logic).
+        self.overloaded_until = 0.0
         self.consecutive_failures = 0
         self.stats = PeerStats()
 
@@ -185,7 +194,15 @@ class Peer:
         return self.transport_factory()
 
     def available(self, now: float) -> bool:
-        return not self.banned and now >= self.quarantined_until
+        return (
+            not self.banned
+            and now >= self.quarantined_until
+            and now >= self.overloaded_until
+        )
+
+    def release_at(self) -> float:
+        """Earliest clock time this (unbanned) peer becomes usable."""
+        return max(self.quarantined_until, self.overloaded_until)
 
     def quarantine_error(self, now: float) -> PeerQuarantinedError:
         return PeerQuarantinedError(
@@ -218,6 +235,23 @@ class Peer:
         # anyway.
         self.quarantined_until = now + quarantine_base * (
             2.0 ** min(self.consecutive_failures - 1, 64)
+        )
+
+    def record_overload(
+        self, error: BackpressureError, now: float, default_wait: float = 0.05
+    ) -> None:
+        """An overloaded-but-honest peer said "come back later".
+
+        Overload is traffic, not malice (ISSUE: never quarantine or ban
+        for it): the peer is held out flat for the server's retry-after
+        hint — no score halving, no consecutive-failure ladder, no
+        quarantine, no ban.  ``default_wait`` covers hint-less frames.
+        """
+        self.stats.attempts += 1
+        self.stats.overloads += 1
+        wait = error.retry_after if error.retry_after else default_wait
+        self.overloaded_until = max(
+            self.overloaded_until, now + min(wait, 30.0)
         )
 
     def record_verification_failure(self, error: Exception) -> None:
@@ -474,6 +508,11 @@ class QuerySession:
         except VerificationError as error:
             peer.record_verification_failure(error)
             raise
+        except BackpressureError as error:
+            # The peer is overloaded, not broken and not lying: hold it
+            # out for the retry-after hint, no quarantine-ladder step.
+            peer.record_overload(error, self.clock.now())
+            raise
         except (TransportError, EncodingError, QueryError) as error:
             # Consistent with an honest peer behind a bad link or a
             # crashed service: penalize and retry later, never ban.
@@ -535,7 +574,7 @@ class QuerySession:
                 # Everyone usable is quarantined; wait out the earliest
                 # release instead of burning a backoff round blind.
                 releases = [
-                    peer.quarantined_until
+                    peer.release_at()
                     for peer in self.peers
                     if not peer.banned
                 ]
@@ -749,6 +788,10 @@ class QuerySession:
                     reasons.setdefault(peer.label, []).append(error)
                 except VerificationError as error:
                     peer.record_verification_failure(error)
+                    reasons.setdefault(peer.label, []).append(error)
+                except BackpressureError as error:
+                    # Busy, not malicious: flat hold-off, never a ladder.
+                    peer.record_overload(error, self.clock.now())
                     reasons.setdefault(peer.label, []).append(error)
                 except (TransportError, EncodingError, QueryError) as error:
                     peer.record_transport_failure(

@@ -49,6 +49,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.chain.block import BlockHeader
 from repro.crypto.encoding import ByteReader
 from repro.errors import (
+    BackpressureError,
     CompletenessError,
     EncodingError,
     QueryError,
@@ -506,6 +507,7 @@ class WatchStats:
         "stale_retractions",
         "retractions",
         "backfills",
+        "backpressure_waits",
         "keepalives",
         "evictions",
         "disconnects",
@@ -930,6 +932,12 @@ class SubscriptionSession:
             self._remote_node = RemoteFullNode(pool=self._pool)
         return self._remote_node
 
+    def _wait_backpressure(self, error: BackpressureError) -> None:
+        """Sleep out a §11 retry-after hint, waking early on close."""
+        self.stats.backpressure_waits += 1
+        wait = error.retry_after if error.retry_after else 0.05
+        self._stop.wait(min(wait, 5.0))
+
     def _resync(self) -> None:
         """Close any coverage gap through the verified pull path.
 
@@ -951,6 +959,15 @@ class SubscriptionSession:
                 replaced, _appended = self.light.sync_with_reorg(remote)
             except StaleChainError:
                 replaced = 0  # server behind us: nothing new to verify
+            except BackpressureError as error:
+                # The server is shedding backfill-class load (§11): a
+                # benign, typed "come back later" — wait the hint out and
+                # retry through the same verified pull path.  Never a
+                # teardown: the whole point of staged shedding is that
+                # refused traffic heals once the burst passes.
+                self._wait_backpressure(error)
+                last_error = error
+                continue
             except (VerificationError, EncodingError) as error:
                 self.stats.verification_failures += 1
                 raise TransportError(
@@ -972,6 +989,10 @@ class SubscriptionSession:
                     first_height=first,
                     last_height=last,
                 )
+            except BackpressureError as error:
+                self._wait_backpressure(error)  # shed: wait, then retry
+                last_error = error
+                continue
             except (CompletenessError, StaleChainError) as error:
                 last_error = error  # tip raced the query: sync and retry
                 continue

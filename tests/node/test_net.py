@@ -19,6 +19,8 @@ from repro.errors import (
     ConnectionLimitError,
     EncodingError,
     QueryError,
+    RateLimitedError,
+    RequestShedError,
     RequestTimeoutError,
     ServerOverloadedError,
     TransportError,
@@ -27,6 +29,7 @@ from repro.errors import (
 from repro.node.full_node import FullNode
 from repro.node.light_node import LightNode
 from repro.node.messages import (
+    BatchQueryRequest,
     ErrorResponse,
     PingRequest,
     PongResponse,
@@ -491,6 +494,186 @@ def test_client_connection_rejects_bad_length_claims(served_lvq):
             connection.request(PingRequest(9).serialize(), timeout=5.0)
     finally:
         connection.close()
+
+
+# ---------------------------------------------------------------------------
+# §11 admission control over live sockets
+
+
+def test_retry_after_params_roundtrip_through_error_frames():
+    """Every backpressure refusal carries its retry hint (integer
+    milliseconds in the params tuple) across serialize/deserialize and
+    rebuilds into the same typed exception with the hint intact."""
+    originals = [
+        ServerOverloadedError(7, 4, retry_after=0.25),
+        ConnectionLimitError(9, 8, retry_after=1.5),
+        RateLimitedError("hot", retry_after=0.125),
+        RequestShedError("batch", "shed_low", retry_after=2.0),
+    ]
+    for original in originals:
+        frame = ErrorResponse.from_exception(original).serialize()
+        rebuilt = error_from_frame(ErrorResponse.deserialize(frame))
+        assert type(rebuilt) is type(original)
+        assert rebuilt.retry_after == pytest.approx(
+            original.retry_after, abs=0.001
+        ), f"hint lost for {type(original).__name__}"
+    shed = error_from_frame(
+        ErrorResponse.deserialize(
+            ErrorResponse.from_exception(originals[3]).serialize()
+        )
+    )
+    assert shed.priority == "batch"
+    assert shed.state == "shed_low"
+
+
+def test_rate_limited_client_gets_typed_frame_others_unaffected(
+    lvq_system, loop_thread
+):
+    """A hot client exhausting its token bucket sees RateLimitedError
+    over the wire; a cold client with its own hello identity is served
+    without ever noticing."""
+    query_server = QueryServer(
+        FullNode(lvq_system), num_workers=2, rate_limit=5.0, rate_burst=2.0
+    )
+    try:
+        with NetServer(query_server, loop_thread=loop_thread) as server:
+            hot = RemoteFullNode(server.address, client_id="hot")
+            cold = RemoteFullNode(server.address, client_id="cold")
+            request = QueryRequest("a").serialize()
+            try:
+                limited = None
+                for _ in range(4):
+                    try:
+                        hot.handle_query(request)
+                    except RateLimitedError as error:
+                        limited = error
+                        break
+                assert limited is not None, "hot client never rate limited"
+                assert limited.retry_after is not None
+                assert limited.retry_after > 0
+                cold.handle_query(request)  # own bucket: still admitted
+                assert server.stats.hellos >= 2
+                admission = query_server.stats()["admission"]
+                assert admission["ratelimited"] >= 1
+                assert hot.pool.stats["backpressure_signals"] >= 1
+            finally:
+                hot.close()
+                cold.close()
+    finally:
+        query_server.close()
+
+
+def test_pool_honors_retry_after_before_next_request(
+    lvq_system, loop_thread
+):
+    """After a rate-limit frame the pool defers its next request for
+    the hinted interval instead of hammering — and then succeeds."""
+    query_server = QueryServer(
+        FullNode(lvq_system), num_workers=2, rate_limit=10.0, rate_burst=1.0
+    )
+    try:
+        with NetServer(query_server, loop_thread=loop_thread) as server:
+            remote = RemoteFullNode(server.address, client_id="eager")
+            request = QueryRequest("a").serialize()
+            try:
+                remote.handle_query(request)  # spends the only token
+                with pytest.raises(RateLimitedError):
+                    remote.handle_query(request)
+                started = time.monotonic()
+                remote.handle_query(request)  # deferred, then admitted
+                elapsed = time.monotonic() - started
+                assert elapsed >= 0.05, (
+                    f"pool retried after only {elapsed * 1000:.0f}ms"
+                )
+                assert remote.pool.stats["backpressure_wait_seconds"] > 0
+            finally:
+                remote.close()
+    finally:
+        query_server.close()
+
+
+def test_queue_pressure_sheds_batch_class_with_typed_frame(
+    lvq_system, loop_thread
+):
+    """With the queue over the low watermark, batch-class traffic is
+    refused with a typed, named RequestShedError frame while the
+    interactive work already queued keeps its place."""
+    full_node = FullNode(lvq_system)
+    gate = threading.Event()
+    original = full_node.handle_query
+
+    def gated_handle(payload):
+        gate.wait(10.0)
+        return original(payload)
+
+    full_node.handle_query = gated_handle
+    query_server = QueryServer(
+        full_node,
+        num_workers=1,
+        max_pending=64,
+        watermarks=(2, 4, 6),
+    )
+    feeders = []
+    try:
+        with NetServer(query_server, loop_thread=loop_thread) as server:
+            # Four interactive queries: one occupies the worker, three
+            # queue up and push the shedder past the low watermark.
+            request = QueryRequest("a").serialize()
+            for _ in range(4):
+                sock = socket.create_connection(server.address, timeout=5.0)
+                sock.sendall(FRAME_HEADER.pack(len(request)) + request)
+                feeders.append(sock)
+            deadline = time.monotonic() + 5.0
+            while query_server.admission.state() == "normal":
+                assert time.monotonic() < deadline, (
+                    f"never shed: depth={query_server.admission.depth()}"
+                )
+                time.sleep(0.01)
+
+            remote = RemoteFullNode(server.address, client_id="batcher")
+            try:
+                with pytest.raises(RequestShedError) as info:
+                    remote.handle_batch_query(
+                        BatchQueryRequest(["a", "b"]).serialize()
+                    )
+                assert info.value.priority == "batch"
+                assert info.value.state == "shed_batch"
+                assert info.value.retry_after is not None
+                assert info.value.retry_after > 0
+            finally:
+                remote.close()
+            gate.set()
+    finally:
+        gate.set()
+        for sock in feeders:
+            sock.close()
+        query_server.close()
+        full_node.handle_query = original
+
+
+def test_hello_narrows_identity_below_shared_host(lvq_system, loop_thread):
+    """Two pools on the same loopback host with distinct hello ids get
+    distinct token buckets: one spending its budget never charges the
+    other (without hello both would share the peer-host identity)."""
+    query_server = QueryServer(
+        FullNode(lvq_system), num_workers=2, rate_limit=1.0, rate_burst=1.0
+    )
+    try:
+        with NetServer(query_server, loop_thread=loop_thread) as server:
+            alice = RemoteFullNode(server.address, client_id="alice")
+            bob = RemoteFullNode(server.address, client_id="bob")
+            request = QueryRequest("a").serialize()
+            try:
+                alice.handle_query(request)
+                with pytest.raises(RateLimitedError):
+                    alice.handle_query(request)
+                bob.handle_query(request)  # separate identity, full bucket
+            finally:
+                alice.close()
+                bob.close()
+            assert server.stats.hellos == 2
+    finally:
+        query_server.close()
 
 
 # ---------------------------------------------------------------------------

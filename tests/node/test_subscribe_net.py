@@ -26,6 +26,7 @@ import time
 
 import pytest
 
+from repro.errors import RequestShedError
 from repro.node.full_node import FullNode
 from repro.node.light_node import LightNode
 from repro.node.messages import (
@@ -412,6 +413,98 @@ def test_slow_socket_consumer_gets_typed_eviction_frame(loop_thread):
                 break
         raw.close()
     finally:
+        server.close()
+
+
+# ---------------------------------------------------------------------------
+# §11: a shed backfill heals through the verified pull path
+
+
+class _ShedFirstSession(SubscriptionSession):
+    """A session whose first N backfill batch queries are refused with
+    a §11 shed frame — the remote itself stays honest throughout."""
+
+    def __init__(self, *args, shed_times=2, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.sheds_left = shed_times
+
+    def _remote(self):
+        inner = super()._remote()
+        outer = self
+
+        class _Shedding:
+            def handle_batch_query(self, payload):
+                if outer.sheds_left > 0:
+                    outer.sheds_left -= 1
+                    raise RequestShedError(
+                        "batch", "shed_batch", retry_after=0.05
+                    )
+                return inner.handle_batch_query(payload)
+
+            def __getattr__(self, name):
+                return getattr(inner, name)
+
+        return _Shedding()
+
+
+def test_shed_backfill_heals_through_verified_pull(loop_thread):
+    """A subscriber whose catch-up backfill is load-shed (typed §11
+    refusal, retry hint) waits the hint out and completes the identical
+    verified range query — no teardown, no unverified data, no gap."""
+    workload, config, system = _build(extra=12)
+    node, registry, server = _serve(system, loop_thread)
+    light = LightNode(system.headers(), config)
+    watched = list(workload.probe_addresses.values())[:3]
+    gap_first = system.tip_height + 1
+    for _ in range(3):
+        node.extend_chain([workload.bodies[system.tip_height + 1]])
+    gap_last = system.tip_height
+
+    session = _ShedFirstSession(
+        light, server.address, watched, keepalive=1.0, shed_times=2
+    )
+    session.start()
+    try:
+        assert session.wait_subscribed(10.0)
+        deadline = time.monotonic() + 15.0
+        events = []
+        while light.tip_height < system.tip_height:
+            assert time.monotonic() < deadline, (
+                f"backfill never healed; events: {events}"
+            )
+            event = session.next_event(timeout=0.2)
+            if event is not None:
+                events.append(event)
+        assert session.sheds_left == 0, "the shed path was never exercised"
+        assert session.stats.backpressure_waits == 2
+        backfills = [e for e in events if e.kind == "backfill"]
+        assert any(
+            b.first_height <= gap_first and b.last_height >= gap_last
+            for b in backfills
+        ), f"gap [{gap_first},{gap_last}] not covered: {backfills}"
+        # The healed answer is the honest one, height by height.
+        for backfill in backfills:
+            for height in range(
+                backfill.first_height, backfill.last_height + 1
+            ):
+                truth = _truth_histories(node, config, watched, height)
+                for address, history in backfill.histories.items():
+                    got = [
+                        (h, tx.txid())
+                        for h, tx in history.transactions
+                        if h == height
+                    ]
+                    expected = [
+                        (h, tx.txid())
+                        for h, tx in truth[address].transactions
+                        if h == height
+                    ]
+                    assert got == expected, (
+                        f"backfill diverged at {height} for {address}"
+                    )
+        assert session.stats.verification_failures == 0
+    finally:
+        session.stop()
         server.close()
 
 
